@@ -1,0 +1,49 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out."""
+
+import pytest
+
+from conftest import run_benchmark
+
+
+@pytest.mark.parametrize("use_segment_mbrs", [False, True], ids=["coarse", "segments"])
+def test_ablation_segment_mbrs(benchmark, synthetic, use_segment_mbrs):
+    """Interval join: one trajectory MBR vs per-episode MBRs (§4.3.2)."""
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(
+            start, end, 10, pois=pois, method="join", use_segment_mbrs=use_segment_mbrs
+        ),
+    )
+
+
+@pytest.mark.parametrize("topology_check", [False, True], ids=["euclid", "topo"])
+def test_ablation_topology_check(benchmark, synthetic, topology_check):
+    """The indoor topology check's cost (§3.3)."""
+    dataset, _ = synthetic
+    engine = dataset.engine(topology_check=topology_check)
+    t = dataset.mid_time()
+    run_benchmark(benchmark, lambda: engine.snapshot_flows(t))
+
+
+@pytest.mark.parametrize("resolution", [8, 32, 64])
+def test_ablation_grid_resolution(benchmark, synthetic, resolution):
+    """Presence quadrature resolution vs query cost."""
+    dataset, _ = synthetic
+    engine = dataset.engine(resolution=resolution)
+    t = dataset.mid_time()
+    run_benchmark(benchmark, lambda: engine.snapshot_flows(t))
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 32])
+def test_ablation_rtree_fanout(benchmark, synthetic, fanout):
+    """Aggregate R-tree fanout vs join cost."""
+    dataset, _ = synthetic
+    engine = dataset.engine(rtree_fanout=fanout)
+    pois = dataset.poi_subset(60)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, 10, pois=pois, method="join")
+    )

@@ -1,0 +1,27 @@
+"""Figure 10: snapshot query on synthetic data — effect of k and |P|."""
+
+import pytest
+
+from conftest import K_VALUES, METHODS, POI_PERCENTAGES, run_benchmark
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig10a_snapshot_vary_k(benchmark, synthetic, method, k):
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(60)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, k, pois=pois, method=method)
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("percent", POI_PERCENTAGES)
+def test_fig10b_snapshot_vary_poi_count(benchmark, synthetic, method, percent):
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(percent)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, 10, pois=pois, method=method)
+    )

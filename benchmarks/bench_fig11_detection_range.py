@@ -1,0 +1,33 @@
+"""Figure 11: effect of the detection range (snapshot and interval).
+
+The paper's contrast: snapshot cost *grows* with the range (bigger
+uncertainty regions at a time point) while interval cost *shrinks*
+(tighter inter-device ellipses along a trajectory).
+"""
+
+import pytest
+
+from conftest import DETECTION_RANGES, METHODS, run_benchmark
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("detection_range", DETECTION_RANGES)
+def test_fig11a_snapshot_vary_range(benchmark, ctx, method, detection_range):
+    dataset, engine = ctx.synthetic(detection_range=detection_range)
+    pois = dataset.poi_subset(60)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, 10, pois=pois, method=method)
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("detection_range", DETECTION_RANGES)
+def test_fig11b_interval_vary_range(benchmark, ctx, method, detection_range):
+    dataset, engine = ctx.synthetic(detection_range=detection_range)
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )

@@ -1,0 +1,60 @@
+"""Figure 12: interval query on synthetic data — k, |P|, |O|, window."""
+
+import pytest
+
+from conftest import (
+    K_VALUES,
+    METHODS,
+    OBJECT_COUNTS,
+    POI_PERCENTAGES,
+    WINDOW_MINUTES,
+    run_benchmark,
+)
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig12a_interval_vary_k(benchmark, synthetic, method, k):
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, k, pois=pois, method=method),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("percent", POI_PERCENTAGES)
+def test_fig12b_interval_vary_poi_count(benchmark, synthetic, method, percent):
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(percent)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("num_objects", OBJECT_COUNTS)
+def test_fig12c_interval_vary_object_count(benchmark, ctx, method, num_objects):
+    dataset, engine = ctx.synthetic(num_objects=num_objects)
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("minutes", WINDOW_MINUTES)
+def test_fig12d_interval_vary_window(benchmark, synthetic, method, minutes):
+    dataset, engine = synthetic
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(minutes)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )

@@ -1,0 +1,27 @@
+"""Figure 13: snapshot query on the (simulated) CPH data — k and |P|."""
+
+import pytest
+
+from conftest import K_VALUES, METHODS, POI_PERCENTAGES, run_benchmark
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig13a_snapshot_cph_vary_k(benchmark, cph, method, k):
+    dataset, engine = cph
+    pois = dataset.poi_subset(60)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, k, pois=pois, method=method)
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("percent", POI_PERCENTAGES)
+def test_fig13b_snapshot_cph_vary_poi_count(benchmark, cph, method, percent):
+    dataset, engine = cph
+    pois = dataset.poi_subset(percent)
+    t = dataset.mid_time()
+    run_benchmark(
+        benchmark, lambda: engine.snapshot_topk(t, 10, pois=pois, method=method)
+    )

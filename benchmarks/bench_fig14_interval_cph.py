@@ -1,0 +1,41 @@
+"""Figure 14: interval query on the (simulated) CPH data — k, |P|, window."""
+
+import pytest
+
+from conftest import K_VALUES, METHODS, POI_PERCENTAGES, WINDOW_MINUTES, run_benchmark
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("k", K_VALUES)
+def test_fig14a_interval_cph_vary_k(benchmark, cph, method, k):
+    dataset, engine = cph
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, k, pois=pois, method=method),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("percent", POI_PERCENTAGES)
+def test_fig14b_interval_cph_vary_poi_count(benchmark, cph, method, percent):
+    dataset, engine = cph
+    pois = dataset.poi_subset(percent)
+    start, end = dataset.window(10)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("minutes", WINDOW_MINUTES)
+def test_fig14c_interval_cph_vary_window(benchmark, cph, method, minutes):
+    dataset, engine = cph
+    pois = dataset.poi_subset(60)
+    start, end = dataset.window(minutes)
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(start, end, 10, pois=pois, method=method),
+    )

@@ -1,0 +1,71 @@
+"""Benchmarks for the multi-floor extension (not a paper figure).
+
+Tracks the cost of cross-floor analytics: door-graph construction over
+stairwell-connected storeys, cross-floor distance queries, and the two
+top-k queries on a three-storey building.
+"""
+
+import pytest
+
+from repro.core import FlowEngine
+from repro.indoor import (
+    DoorGraph,
+    IndoorDistanceOracle,
+    deploy_multi_storey_devices,
+    multi_storey_office,
+    partition_rooms_into_pois,
+)
+from repro.tracking import simulate_random_waypoint
+
+from conftest import METHODS, run_benchmark
+
+
+@pytest.fixture(scope="module")
+def multifloor_world():
+    building = multi_storey_office(levels=3, rooms_per_side=5, stair_count=2)
+    deployment = deploy_multi_storey_devices(building)
+    simulation = simulate_random_waypoint(
+        building, deployment, num_objects=30, duration=900.0, seed=11
+    )
+    pois = partition_rooms_into_pois(building, count=40, seed=2)
+    engine = FlowEngine(
+        building,
+        deployment,
+        simulation.ott,
+        pois,
+        v_max=1.1,
+        detection_slack=2.0,
+    )
+    return building, engine, simulation
+
+
+def test_multifloor_door_graph_build(benchmark, multifloor_world):
+    building, _, _ = multifloor_world
+    benchmark(lambda: DoorGraph(building))
+
+
+def test_multifloor_cross_floor_distance(benchmark, multifloor_world):
+    building, _, _ = multifloor_world
+    oracle = IndoorDistanceOracle(building)
+    start = building.room("F0:H").polygon.centroid()
+    goal = building.room("F2:H").polygon.centroid()
+    benchmark(lambda: oracle.distance(start, goal))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_multifloor_snapshot_topk(benchmark, multifloor_world, method):
+    _, engine, simulation = multifloor_world
+    start, end = simulation.ott.time_span()
+    t = (start + end) / 2.0
+    run_benchmark(benchmark, lambda: engine.snapshot_topk(t, 5, method=method))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_multifloor_interval_topk(benchmark, multifloor_world, method):
+    _, engine, simulation = multifloor_world
+    start, end = simulation.ott.time_span()
+    middle = (start + end) / 2.0
+    run_benchmark(
+        benchmark,
+        lambda: engine.interval_topk(middle - 120.0, middle + 120.0, 5, method=method),
+    )

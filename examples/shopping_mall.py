@@ -1,0 +1,141 @@
+#!/usr/bin/env python3
+"""Shopping mall analytics: lease pricing from tracked visitor flows.
+
+The paper's motivating scenario (Section 1): "the lease prices of different
+shop locations in a large shopping mall may be set according to the numbers
+of people passing by the location."  This example:
+
+1. simulates a mall — an office-style floor plan read as a mall, with RFID
+   readers at shop doors and along the concourse, and visitors moving with
+   Zipf-skewed shop popularity;
+2. runs an interval top-k query over a rush window (Problem 2);
+3. builds a *day profile* by summing interval flows over short slices —
+   short windows keep uncertainty regions tight, so sliced flow tracks
+   real occupancy far better than one day-long window (whose regions
+   degenerate to "could be anywhere"); and
+4. compares the sliced-flow ranking against the simulation's ground-truth
+   visit time (which a real deployment would not have), then buckets shops
+   into lease-price tiers.
+
+Run with::
+
+    python examples/shopping_mall.py            # default size
+    python examples/shopping_mall.py --objects 150 --minutes 30
+"""
+
+import argparse
+from collections import Counter
+
+from repro.datagen import SyntheticConfig, build_synthetic_dataset
+
+
+def sliced_flows(engine, t_start, t_end, slice_seconds=60.0) -> Counter:
+    """Sum of interval flows over consecutive short windows.
+
+    Each slice is a Problem 2 query; the sum approximates "visitor-slices
+    spent in the POI", the quantity lease pricing actually wants.
+    """
+    totals: Counter = Counter()
+    t = t_start
+    while t < t_end:
+        for poi_id, flow in engine.interval_flows(
+            t, min(t + slice_seconds, t_end)
+        ).items():
+            totals[poi_id] += flow
+        t += slice_seconds
+    return totals
+
+
+def ground_truth_time(dataset, t_start, t_end, step=10.0) -> Counter:
+    """True visitor-time per POI from the simulator's trajectories."""
+    time_spent: Counter = Counter()
+    poi_by_room: dict[str, list] = {}
+    for poi in dataset.pois:
+        poi_by_room.setdefault(poi.room_id, []).append(poi)
+    for trajectory in dataset.trajectories:
+        for t in trajectory.sample_times(t_start, t_end, step):
+            position = trajectory.position_at(t)
+            room = dataset.floorplan.room_at(position)
+            if room is None:
+                continue
+            for poi in poi_by_room.get(room.room_id, ()):
+                if poi.polygon.contains(position):
+                    time_spent[poi.poi_id] += 1
+    return time_spent
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--objects", type=int, default=80, help="visitors")
+    parser.add_argument("--minutes", type=float, default=20.0, help="sim length")
+    parser.add_argument("--top", type=int, default=10, help="k of the top-k query")
+    args = parser.parse_args()
+
+    print(f"Simulating a mall with {args.objects} visitors over {args.minutes} min...")
+    dataset = build_synthetic_dataset(
+        SyntheticConfig(
+            num_objects=args.objects,
+            duration=args.minutes * 60.0,
+            rooms_per_side=10,
+            hotspot_exponent=1.0,  # strong popularity skew between shops
+            seed=20,
+        )
+    )
+    print(
+        f"  {len(dataset.ott)} tracking records for "
+        f"{dataset.ott.object_count} visitors, {len(dataset.pois)} shop POIs"
+    )
+
+    engine = dataset.engine()
+    t_start, t_end = dataset.time_span()
+
+    rush_start, rush_end = dataset.window(2)
+    print(f"\nTop-{args.top} shops during a 2-minute rush window (Problem 2):")
+    result = engine.interval_topk(rush_start, rush_end, args.top, method="join")
+    for entry in result:
+        print(f"  {entry.poi.name:30s} flow={entry.flow:7.2f}")
+
+    print("\nBuilding the day profile from 60-second flow slices...")
+    totals = sliced_flows(engine, t_start, t_end, slice_seconds=60.0)
+    truth = ground_truth_time(dataset, t_start, t_end)
+
+    ranked = totals.most_common(args.top)
+    pois_by_id = {poi.poi_id: poi for poi in dataset.pois}
+    print(f"  {'shop':30s} {'sliced flow':>12} {'true visitor-time':>18}")
+    for poi_id, flow in ranked:
+        print(
+            f"  {pois_by_id[poi_id].name:30s} {flow:>12.1f} "
+            f"{truth.get(poi_id, 0):>18d}"
+        )
+
+    true_top = {poi_id for poi_id, _ in truth.most_common(args.top)}
+    hits = sum(1 for poi_id, _ in ranked if poi_id in true_top)
+    print(
+        f"\nPrecision@{args.top} of the sliced-flow ranking vs ground truth: "
+        f"{hits}/{args.top}"
+    )
+    print(
+        "  (Symbolic tracking is inherently coarse: between door readings an\n"
+        "   object 'could be' in many shops, and the model uses no negative\n"
+        "   information — so per-shop flows smear toward central locations.\n"
+        "   The paper evaluates query *performance*; flow precision depends\n"
+        "   on reader density, dwell times and V_max.)"
+    )
+
+    print("\nSuggested lease tiers (by sliced-flow quartile over all shops):")
+    ordered = sorted(
+        dataset.pois, key=lambda poi: totals.get(poi.poi_id, 0.0), reverse=True
+    )
+    tiers = ("premium", "high", "standard", "economy")
+    quarter = max(1, len(ordered) // 4)
+    for tier_index, tier in enumerate(tiers):
+        members = ordered[tier_index * quarter : (tier_index + 1) * quarter]
+        if not members:
+            continue
+        low = totals.get(members[-1].poi_id, 0.0)
+        high = totals.get(members[0].poi_id, 0.0)
+        print(f"  {tier:9s}: {len(members):3d} shops, flow {low:8.1f} .. {high:8.1f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,26 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 5)."""
+
+from .ablations import ABLATIONS, AblationRow
+from .figures import FIGURES, FigureSpec, run_figure
+from .harness import BenchContext, FigureResult, SeriesPoint
+from .reporting import (
+    format_ablation,
+    format_figure,
+    print_ablation,
+    print_figure,
+)
+
+__all__ = [
+    "ABLATIONS",
+    "AblationRow",
+    "BenchContext",
+    "FIGURES",
+    "FigureResult",
+    "FigureSpec",
+    "SeriesPoint",
+    "format_ablation",
+    "format_figure",
+    "print_ablation",
+    "print_figure",
+    "run_figure",
+]

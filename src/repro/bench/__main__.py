@@ -1,0 +1,109 @@
+"""CLI entry point: regenerate the paper's evaluation figures.
+
+Examples::
+
+    python -m repro.bench --figure fig10a
+    python -m repro.bench --all --scale 0.1 --repeats 3
+    python -m repro.bench --ablation ablation_segment_mbrs
+    python -m repro.bench --list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .ablations import ABLATIONS
+from .figures import FIGURES, run_figure
+from .harness import BenchContext
+from .reporting import print_ablation, print_figure
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "--figure",
+        action="append",
+        default=None,
+        help="figure id to run (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--ablation",
+        action="append",
+        default=None,
+        help="ablation id to run (repeatable); see --list",
+    )
+    parser.add_argument(
+        "--all", action="store_true", help="run every figure and ablation"
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.1,
+        help="population scale vs the paper's |O| (default 0.1)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per point (median is reported; default 3)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="sweep a 3-value subset of each parameter range",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list figures and ablations"
+    )
+    return parser
+
+
+def _quick_params(values: tuple) -> tuple:
+    if len(values) <= 3:
+        return values
+    return (values[0], values[len(values) // 2], values[-1])
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("figures:")
+        for spec in FIGURES.values():
+            print(f"  {spec.figure_id:8s} {spec.title}")
+        print("ablations:")
+        for name in ABLATIONS:
+            print(f"  {name}")
+        return 0
+
+    figure_ids = list(args.figure or [])
+    ablation_ids = list(args.ablation or [])
+    if args.all:
+        figure_ids = list(FIGURES)
+        ablation_ids = list(ABLATIONS)
+    if not figure_ids and not ablation_ids:
+        build_parser().print_help()
+        return 2
+
+    ctx = BenchContext(scale=args.scale, repeats=args.repeats)
+    for figure_id in figure_ids:
+        spec = FIGURES.get(figure_id)
+        if spec is None:
+            print(f"unknown figure {figure_id!r}", file=sys.stderr)
+            return 2
+        params = _quick_params(spec.default_params) if args.quick else None
+        print_figure(run_figure(figure_id, ctx, params))
+    for name in ablation_ids:
+        runner = ABLATIONS.get(name)
+        if runner is None:
+            print(f"unknown ablation {name!r}", file=sys.stderr)
+            return 2
+        print_ablation(name, runner(ctx))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,46 @@
+"""Plain-text reporting of reproduced figures and ablations."""
+
+from __future__ import annotations
+
+from typing import Iterable, TextIO
+
+from .ablations import AblationRow
+from .harness import FigureResult
+
+__all__ = ["format_figure", "format_ablation", "print_figure", "print_ablation"]
+
+
+def format_figure(result: FigureResult) -> str:
+    """An aligned table with one row per parameter value."""
+    header = (
+        f"{result.figure_id}: {result.title}   (|O| scale {result.scale:g})"
+    )
+    columns = f"{result.param_name:>14} | {'iterative (ms)':>14} | {'join (ms)':>10} | {'speedup':>7}"
+    rule = "-" * len(columns)
+    lines = [header, columns, rule]
+    for point in result.points:
+        lines.append(
+            f"{point.param!s:>14} | {point.iterative_ms:>14.2f} | "
+            f"{point.join_ms:>10.2f} | {point.speedup:>6.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def format_ablation(name: str, rows: Iterable[AblationRow]) -> str:
+    lines = [name, f"{'variant':>20} | {'time (ms)':>10} | metrics", "-" * 60]
+    for row in rows:
+        metrics = ", ".join(f"{k}={v}" for k, v in row.metrics.items()) or "-"
+        lines.append(f"{row.label:>20} | {row.time_ms:>10.2f} | {metrics}")
+    return "\n".join(lines)
+
+
+def print_figure(result: FigureResult, stream: TextIO | None = None) -> None:
+    print(format_figure(result), file=stream)
+    print(file=stream)
+
+
+def print_ablation(
+    name: str, rows: Iterable[AblationRow], stream: TextIO | None = None
+) -> None:
+    print(format_ablation(name, rows), file=stream)
+    print(file=stream)

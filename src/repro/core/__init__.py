@@ -1,0 +1,79 @@
+"""The paper's core contribution: uncertainty analysis, flows and queries."""
+
+from .algorithms import (
+    JoinObject,
+    interval_flows,
+    iterative_interval,
+    iterative_snapshot,
+    join_interval,
+    join_snapshot,
+    snapshot_flows,
+)
+from .engine import FlowEngine
+from .monitor import (
+    SlidingIntervalTopKMonitor,
+    SnapshotTopKMonitor,
+    TopKUpdate,
+)
+from .presence import PresenceEstimator
+from .queries import (
+    IntervalTopKQuery,
+    RankedPoi,
+    SnapshotTopKQuery,
+    TopKResult,
+    rank_top_k,
+    rank_top_k_by_density,
+)
+from .states import (
+    IntervalContext,
+    SnapshotContext,
+    TrackingState,
+    interval_contexts,
+    snapshot_context,
+    snapshot_contexts,
+)
+from .uncertainty import (
+    Episode,
+    IntervalUncertainty,
+    PathReachabilityConstraint,
+    ReachabilityConstraint,
+    TopologyChecker,
+    interval_uncertainty,
+    snapshot_mbr,
+    snapshot_region,
+)
+
+__all__ = [
+    "Episode",
+    "FlowEngine",
+    "IntervalContext",
+    "IntervalTopKQuery",
+    "IntervalUncertainty",
+    "JoinObject",
+    "PathReachabilityConstraint",
+    "PresenceEstimator",
+    "RankedPoi",
+    "ReachabilityConstraint",
+    "SlidingIntervalTopKMonitor",
+    "SnapshotContext",
+    "SnapshotTopKMonitor",
+    "SnapshotTopKQuery",
+    "TopKResult",
+    "TopKUpdate",
+    "TopologyChecker",
+    "TrackingState",
+    "interval_contexts",
+    "interval_flows",
+    "interval_uncertainty",
+    "iterative_interval",
+    "iterative_snapshot",
+    "join_interval",
+    "join_snapshot",
+    "rank_top_k",
+    "rank_top_k_by_density",
+    "snapshot_context",
+    "snapshot_contexts",
+    "snapshot_flows",
+    "snapshot_mbr",
+    "snapshot_region",
+]

@@ -1,0 +1,19 @@
+"""Query processing algorithms (paper, Section 4)."""
+
+from .iterative import (
+    interval_flows,
+    iterative_interval,
+    iterative_snapshot,
+    snapshot_flows,
+)
+from .join import JoinObject, join_interval, join_snapshot
+
+__all__ = [
+    "JoinObject",
+    "interval_flows",
+    "iterative_interval",
+    "iterative_snapshot",
+    "join_interval",
+    "join_snapshot",
+    "snapshot_flows",
+]

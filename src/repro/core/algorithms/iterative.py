@@ -1,0 +1,131 @@
+"""The iterative query algorithms (paper, Algorithms 1 and 4).
+
+The straightforward strategy: derive the uncertainty region of *every*
+object relevant to the query time (point) or window (range query on the
+AR-tree), look up the POIs the region's bounding box overlaps in the POI
+R-tree, accumulate presence into per-POI flows, and rank.
+
+Besides serving as the paper's baseline, the flow maps these functions
+produce are the reference the join algorithms are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...geometry import Region
+from ...index import ARTree, RTree
+from ...indoor.devices import Deployment
+from ...indoor.poi import Poi
+from ..presence import PresenceEstimator
+from ..queries import TopKResult, rank_top_k
+from ..states import interval_contexts, snapshot_contexts
+from ..uncertainty import (
+    TopologyChecker,
+    interval_uncertainty,
+    snapshot_region,
+)
+
+__all__ = [
+    "snapshot_flows",
+    "interval_flows",
+    "iterative_snapshot",
+    "iterative_interval",
+]
+
+
+def _accumulate(
+    flows: dict[str, float],
+    region: Region,
+    poi_tree: RTree,
+    estimator: PresenceEstimator,
+) -> None:
+    mbr = region.mbr
+    if mbr is None:
+        return
+    for poi in poi_tree.search(mbr):
+        presence = estimator.presence(region, poi)
+        if presence > 0.0:
+            flows[poi.poi_id] = flows.get(poi.poi_id, 0.0) + presence
+
+
+def snapshot_flows(
+    artree: ARTree,
+    poi_tree: RTree,
+    deployment: Deployment,
+    v_max: float,
+    t: float,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    inner_allowance: float = 0.0,
+) -> dict[str, float]:
+    """``Φ_t(p)`` for every POI with non-zero flow (Definition 2)."""
+    flows: dict[str, float] = {}
+    for context in snapshot_contexts(artree, t):
+        region = snapshot_region(
+            context, deployment, v_max, topology, inner_allowance
+        )
+        _accumulate(flows, region, poi_tree, estimator)
+    return flows
+
+
+def interval_flows(
+    artree: ARTree,
+    poi_tree: RTree,
+    deployment: Deployment,
+    v_max: float,
+    t_start: float,
+    t_end: float,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    inner_allowance: float = 0.0,
+) -> dict[str, float]:
+    """``Φ_[t_s, t_e](p)`` for every POI with non-zero flow."""
+    flows: dict[str, float] = {}
+    for context in interval_contexts(artree, t_start, t_end):
+        uncertainty = interval_uncertainty(
+            context, deployment, v_max, topology, inner_allowance
+        )
+        _accumulate(flows, uncertainty.region, poi_tree, estimator)
+    return flows
+
+
+def iterative_snapshot(
+    artree: ARTree,
+    poi_tree: RTree,
+    pois: Sequence[Poi],
+    deployment: Deployment,
+    v_max: float,
+    t: float,
+    k: int,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    inner_allowance: float = 0.0,
+) -> TopKResult:
+    """Algorithm 1: compute every snapshot flow, then take the top k."""
+    flows = snapshot_flows(
+        artree, poi_tree, deployment, v_max, t, estimator, topology,
+        inner_allowance,
+    )
+    return rank_top_k(flows, pois, k)
+
+
+def iterative_interval(
+    artree: ARTree,
+    poi_tree: RTree,
+    pois: Sequence[Poi],
+    deployment: Deployment,
+    v_max: float,
+    t_start: float,
+    t_end: float,
+    k: int,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    inner_allowance: float = 0.0,
+) -> TopKResult:
+    """Algorithm 4: compute every interval flow, then take the top k."""
+    flows = interval_flows(
+        artree, poi_tree, deployment, v_max, t_start, t_end, estimator,
+        topology, inner_allowance,
+    )
+    return rank_top_k(flows, pois, k)

@@ -1,0 +1,287 @@
+"""The join-based query algorithms (paper, Algorithms 2, 3 and 5).
+
+Instead of deriving every object's uncertainty region up front, the join
+algorithms:
+
+1. build an in-memory **aggregate R-tree** ``R_I`` over cheap object MBRs
+   (no region derivation needed for the MBR);
+2. join the POI R-tree ``R_P`` against ``R_I`` best-first, driven by a
+   priority queue keyed on **flow upper bounds** — the number of objects in
+   the joined ``R_I`` entries, valid because presence never exceeds 1;
+3. derive uncertainty regions (the expensive part: topology-checked region
+   construction and presence quadrature) *only* for objects that survive
+   MBR pruning against high-priority POIs, caching them per object
+   (the paper's ``H_U``);
+4. stop as soon as ``k`` POIs with exactly-computed flows outrank every
+   remaining upper bound.
+
+For interval queries the improved variant (Section 4.3.2) additionally
+stores a series of tight per-episode MBRs with each object and requires at
+least one of them — not just the large overall trajectory box, which is
+mostly dead space — to intersect a POI before the object enters its join
+list.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Callable, Sequence
+
+from ...geometry import Mbr, Region
+from ...index import ARTree, AggregateRTree, RTree, RTreeEntry
+from ...indoor.devices import Deployment
+from ...indoor.poi import Poi
+from ..presence import PresenceEstimator
+from ..queries import RankedPoi, TopKResult, rank_top_k
+from ..states import interval_contexts, snapshot_contexts
+from ..uncertainty import (
+    TopologyChecker,
+    interval_uncertainty,
+    snapshot_mbr,
+    snapshot_region,
+)
+
+__all__ = ["JoinObject", "join_snapshot", "join_interval"]
+
+
+class JoinObject:
+    """An object as seen by the join: a cheap MBR plus a lazy region.
+
+    The region (and with it the topology-checked constraints) is only
+    built when some presence actually needs it — this laziness is the
+    entire point of the join algorithms.  ``segment_mbrs`` carries the
+    improved interval join's fine-grained boxes (``None`` for snapshot
+    queries or when the improvement is disabled).
+    """
+
+    __slots__ = ("object_id", "mbr", "segment_mbrs", "_factory", "_region")
+
+    def __init__(
+        self,
+        object_id,
+        mbr: Mbr,
+        region_factory: Callable[[], Region],
+        segment_mbrs: tuple[Mbr, ...] | None = None,
+    ):
+        self.object_id = object_id
+        self.mbr = mbr
+        self.segment_mbrs = segment_mbrs
+        self._factory = region_factory
+        self._region: Region | None = None
+
+    def region(self) -> Region:
+        """The uncertainty region, derived on first use (the paper's H_U)."""
+        if self._region is None:
+            self._region = self._factory()
+        return self._region
+
+    def matches(self, mbr: Mbr, use_segment_mbrs: bool) -> bool:
+        """MBR test against a POI box, with the finer segment-MBR check."""
+        if not self.mbr.intersects(mbr):
+            return False
+        if use_segment_mbrs and self.segment_mbrs is not None:
+            return any(segment.intersects(mbr) for segment in self.segment_mbrs)
+        return True
+
+
+def _match_entries(
+    poi_mbr: Mbr,
+    candidates: Sequence[RTreeEntry],
+    tree: AggregateRTree,
+    use_segment_mbrs: bool,
+) -> tuple[list[RTreeEntry], int]:
+    """Filter R_I entries against a POI box; return (join list, count bound)."""
+    matched: list[RTreeEntry] = []
+    upper_bound = 0
+    for entry in candidates:
+        if entry.is_leaf_entry:
+            if entry.item.matches(poi_mbr, use_segment_mbrs):
+                matched.append(entry)
+                upper_bound += 1
+        elif entry.mbr.intersects(poi_mbr):
+            matched.append(entry)
+            upper_bound += tree.count(entry)
+    return matched, upper_bound
+
+
+def _topk_join(
+    poi_tree: RTree,
+    pois: Sequence[Poi],
+    objects: Sequence[JoinObject],
+    k: int,
+    estimator: PresenceEstimator,
+    use_segment_mbrs: bool = False,
+    rtree_fanout: int = 8,
+) -> TopKResult:
+    """The shared best-first R_P x R_I join (Algorithms 2/5 unified)."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not objects or len(poi_tree) == 0:
+        return rank_top_k({}, pois, k)
+
+    object_tree = AggregateRTree.build(
+        [(obj.mbr, obj) for obj in objects], max_entries=rtree_fanout
+    )
+    sequence = count()
+    heap: list = []
+
+    def push(entry: RTreeEntry, join_list, priority: float) -> None:
+        heapq.heappush(heap, (-priority, next(sequence), entry, join_list))
+
+    for poi_entry in poi_tree.root.entries:
+        join_list, upper_bound = _match_entries(
+            poi_entry.mbr, object_tree.root.entries, object_tree, use_segment_mbrs
+        )
+        if join_list:
+            push(poi_entry, join_list, upper_bound)
+
+    confirmed: list[RankedPoi] = []
+    while heap and len(confirmed) < k:
+        negative_priority, _, poi_entry, join_list = heapq.heappop(heap)
+        if join_list is None:
+            # Exact flow already computed and it outranks every remaining
+            # upper bound: confirmed.
+            confirmed.append(
+                RankedPoi(poi=poi_entry.item, flow=-negative_priority)
+            )
+            continue
+        lists_are_leaf = join_list[0].is_leaf_entry
+        if poi_entry.is_leaf_entry:
+            if lists_are_leaf:
+                poi: Poi = poi_entry.item
+                flow = 0.0
+                for object_entry in join_list:
+                    flow += estimator.presence(object_entry.item.region(), poi)
+                if flow > 0.0:
+                    push(poi_entry, None, flow)
+            else:
+                children = [
+                    child
+                    for object_entry in join_list
+                    for child in object_entry.child.entries
+                ]
+                refined, upper_bound = _match_entries(
+                    poi_entry.mbr, children, object_tree, use_segment_mbrs
+                )
+                if refined:
+                    push(poi_entry, refined, upper_bound)
+        else:
+            if lists_are_leaf:
+                candidates = join_list
+            else:
+                candidates = [
+                    child
+                    for object_entry in join_list
+                    for child in object_entry.child.entries
+                ]
+            for child_entry in poi_entry.child.entries:
+                refined, upper_bound = _match_entries(
+                    child_entry.mbr, candidates, object_tree, use_segment_mbrs
+                )
+                if refined:
+                    push(child_entry, refined, upper_bound)
+
+    if len(confirmed) < k:
+        # Queue exhausted: every remaining POI has zero flow; fill the
+        # k-subset deterministically.
+        found = {entry.poi.poi_id for entry in confirmed}
+        for poi in sorted(pois, key=lambda p: p.poi_id):
+            if len(confirmed) >= k:
+                break
+            if poi.poi_id not in found:
+                confirmed.append(RankedPoi(poi=poi, flow=0.0))
+    return TopKResult(entries=tuple(confirmed[:k]))
+
+
+# ----------------------------------------------------------------------
+# Snapshot join (Algorithm 2)
+# ----------------------------------------------------------------------
+
+
+def join_snapshot(
+    artree: ARTree,
+    poi_tree: RTree,
+    pois: Sequence[Poi],
+    deployment: Deployment,
+    v_max: float,
+    t: float,
+    k: int,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    rtree_fanout: int = 8,
+    inner_allowance: float = 0.0,
+) -> TopKResult:
+    """Algorithm 2: aggregate-R-tree join for the snapshot query."""
+    objects: list[JoinObject] = []
+    for context in snapshot_contexts(artree, t):
+        mbr = snapshot_mbr(context, deployment, v_max)
+        if mbr is None:
+            continue
+        objects.append(
+            JoinObject(
+                object_id=context.object_id,
+                mbr=mbr,
+                region_factory=lambda ctx=context: snapshot_region(
+                    ctx, deployment, v_max, topology, inner_allowance
+                ),
+            )
+        )
+    return _topk_join(
+        poi_tree, pois, objects, k, estimator, rtree_fanout=rtree_fanout
+    )
+
+
+# ----------------------------------------------------------------------
+# Interval join (Algorithm 5 + Section 4.3.2 improvements)
+# ----------------------------------------------------------------------
+
+
+def join_interval(
+    artree: ARTree,
+    poi_tree: RTree,
+    pois: Sequence[Poi],
+    deployment: Deployment,
+    v_max: float,
+    t_start: float,
+    t_end: float,
+    k: int,
+    estimator: PresenceEstimator,
+    topology: TopologyChecker | None = None,
+    use_segment_mbrs: bool = True,
+    rtree_fanout: int = 8,
+    inner_allowance: float = 0.0,
+) -> TopKResult:
+    """Algorithm 5: the interval join, with finer per-episode MBRs.
+
+    ``use_segment_mbrs=False`` reproduces the unimproved variant (one
+    coarse MBR per object trajectory) for ablation.
+    """
+    objects: list[JoinObject] = []
+    for context in interval_contexts(artree, t_start, t_end):
+        uncertainty = interval_uncertainty(
+            context, deployment, v_max, topology, inner_allowance
+        )
+        overall_mbr = uncertainty.mbr
+        if overall_mbr is None:
+            continue
+        segments = (
+            tuple(uncertainty.segment_mbrs()) if use_segment_mbrs else None
+        )
+        objects.append(
+            JoinObject(
+                object_id=context.object_id,
+                mbr=overall_mbr,
+                region_factory=lambda u=uncertainty: u.region,
+                segment_mbrs=segments,
+            )
+        )
+    return _topk_join(
+        poi_tree,
+        pois,
+        objects,
+        k,
+        estimator,
+        use_segment_mbrs=use_segment_mbrs,
+        rtree_fanout=rtree_fanout,
+    )

@@ -1,0 +1,311 @@
+"""`FlowEngine` — the library's main entry point.
+
+Wraps a floor plan, a device deployment, an OTT and a POI set into one
+query-ready object: indexes are built once (AR-tree over the OTT, R-tree
+over the POIs, door graph + distance oracle for the topology check) and the
+two top-k queries are exposed with both processing strategies.
+
+Typical use::
+
+    engine = FlowEngine(plan, deployment, ott, pois, v_max=1.1)
+    top = engine.snapshot_topk(t=3600.0, k=10)
+    for row in top:
+        print(row.poi.name, row.flow)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import DEFAULT_RESOLUTION, Region
+from ..index import ARTree, RTree
+from ..indoor.devices import Deployment
+from ..indoor.distance import IndoorDistanceOracle
+from ..indoor.floorplan import FloorPlan
+from ..indoor.poi import Poi, build_poi_index
+from ..tracking.records import ObjectId
+from ..tracking.table import ObjectTrackingTable
+from .algorithms.iterative import (
+    interval_flows,
+    iterative_interval,
+    iterative_snapshot,
+    snapshot_flows,
+)
+from .algorithms.join import join_interval, join_snapshot
+from .presence import PresenceEstimator
+from .queries import TopKResult, rank_top_k_by_density
+from .states import interval_contexts, snapshot_contexts
+from .uncertainty import (
+    IntervalUncertainty,
+    TopologyChecker,
+    interval_uncertainty,
+    snapshot_region,
+)
+
+__all__ = ["FlowEngine"]
+
+_METHODS = ("join", "iterative")
+
+
+class FlowEngine:
+    """Query engine for frequently-visited-POI analysis.
+
+    Parameters
+    ----------
+    floorplan, deployment, ott, pois:
+        The indoor space, its positioning devices, the (frozen or
+        freezable) tracking table and the POI universe.
+    v_max:
+        Maximum indoor movement speed (m/s) — the paper's ``V_max``.
+    resolution:
+        Presence quadrature resolution (grid cells along the longer POI
+        side).
+    topology_check:
+        Apply the indoor topology check (Section 3.3).  Disable to ablate.
+    rtree_fanout, artree_fanout:
+        Index node capacities.
+    detection_slack:
+        Detection latency of the positioning system, in seconds.  The
+        paper's model assumes continuous detection; sampled systems may
+        miss an object's presence inside a range for up to roughly twice
+        the sampling period, during which the rings' inner exclusions
+        would be unsound.  Setting this to ``2 * sampling_interval``
+        relaxes those exclusions by ``v_max * detection_slack`` meters.
+        ``0.0`` (default) reproduces the paper's idealised model exactly.
+    """
+
+    def __init__(
+        self,
+        floorplan: FloorPlan,
+        deployment: Deployment,
+        ott: ObjectTrackingTable,
+        pois: Sequence[Poi],
+        v_max: float,
+        resolution: int = DEFAULT_RESOLUTION,
+        topology_check: bool = True,
+        rtree_fanout: int = 8,
+        artree_fanout: int = 16,
+        detection_slack: float = 0.0,
+    ):
+        if v_max <= 0:
+            raise ValueError("v_max must be positive")
+        if detection_slack < 0:
+            raise ValueError("detection_slack must be non-negative")
+        if not pois:
+            raise ValueError("the engine needs at least one POI")
+        self.floorplan = floorplan
+        self.deployment = deployment
+        self.ott = ott.freeze()
+        self.pois = list(pois)
+        self.v_max = v_max
+        self.rtree_fanout = rtree_fanout
+        self.artree = ARTree.build(self.ott, fanout=artree_fanout)
+        self.poi_tree = build_poi_index(self.pois, max_entries=rtree_fanout)
+        self.estimator = PresenceEstimator(resolution=resolution)
+        self.topology: TopologyChecker | None = (
+            TopologyChecker(IndoorDistanceOracle(floorplan))
+            if topology_check
+            else None
+        )
+        self.detection_slack = detection_slack
+        self.inner_allowance = v_max * detection_slack
+        self._pois_by_id = {poi.poi_id: poi for poi in self.pois}
+
+    # ------------------------------------------------------------------
+    # POI subsets
+    # ------------------------------------------------------------------
+
+    def _query_pois(
+        self, pois: Sequence[Poi] | None
+    ) -> tuple[list[Poi], RTree]:
+        """Resolve the query POI set P and its R-tree R_P."""
+        if pois is None:
+            return self.pois, self.poi_tree
+        subset = list(pois)
+        if not subset:
+            raise ValueError("the query POI set may not be empty")
+        return subset, build_poi_index(subset, max_entries=self.rtree_fanout)
+
+    # ------------------------------------------------------------------
+    # Top-k queries (Problems 1 and 2)
+    # ------------------------------------------------------------------
+
+    def snapshot_topk(
+        self,
+        t: float,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+    ) -> TopKResult:
+        """Problem 1: the k POIs most visited at time point ``t``."""
+        query_pois, poi_tree = self._query_pois(pois)
+        if method == "join":
+            return join_snapshot(
+                self.artree,
+                poi_tree,
+                query_pois,
+                self.deployment,
+                self.v_max,
+                t,
+                k,
+                self.estimator,
+                self.topology,
+                rtree_fanout=self.rtree_fanout,
+                inner_allowance=self.inner_allowance,
+            )
+        if method == "iterative":
+            return iterative_snapshot(
+                self.artree,
+                poi_tree,
+                query_pois,
+                self.deployment,
+                self.v_max,
+                t,
+                k,
+                self.estimator,
+                self.topology,
+                inner_allowance=self.inner_allowance,
+            )
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+
+    def interval_topk(
+        self,
+        t_start: float,
+        t_end: float,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+        use_segment_mbrs: bool = True,
+    ) -> TopKResult:
+        """Problem 2: the k POIs most visited during ``[t_start, t_end]``."""
+        query_pois, poi_tree = self._query_pois(pois)
+        if method == "join":
+            return join_interval(
+                self.artree,
+                poi_tree,
+                query_pois,
+                self.deployment,
+                self.v_max,
+                t_start,
+                t_end,
+                k,
+                self.estimator,
+                self.topology,
+                use_segment_mbrs=use_segment_mbrs,
+                rtree_fanout=self.rtree_fanout,
+                inner_allowance=self.inner_allowance,
+            )
+        if method == "iterative":
+            return iterative_interval(
+                self.artree,
+                poi_tree,
+                query_pois,
+                self.deployment,
+                self.v_max,
+                t_start,
+                t_end,
+                k,
+                self.estimator,
+                self.topology,
+                inner_allowance=self.inner_allowance,
+            )
+        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
+
+    # ------------------------------------------------------------------
+    # Flow maps (full Φ for analysis / validation)
+    # ------------------------------------------------------------------
+
+    def snapshot_flows(
+        self, t: float, pois: Sequence[Poi] | None = None
+    ) -> dict[str, float]:
+        """``Φ_t(p)`` for every query POI with non-zero flow."""
+        _, poi_tree = self._query_pois(pois)
+        return snapshot_flows(
+            self.artree,
+            poi_tree,
+            self.deployment,
+            self.v_max,
+            t,
+            self.estimator,
+            self.topology,
+            inner_allowance=self.inner_allowance,
+        )
+
+    def interval_flows(
+        self, t_start: float, t_end: float, pois: Sequence[Poi] | None = None
+    ) -> dict[str, float]:
+        """``Φ_[t_s, t_e](p)`` for every query POI with non-zero flow."""
+        _, poi_tree = self._query_pois(pois)
+        return interval_flows(
+            self.artree,
+            poi_tree,
+            self.deployment,
+            self.v_max,
+            t_start,
+            t_end,
+            self.estimator,
+            self.topology,
+            inner_allowance=self.inner_allowance,
+        )
+
+    # ------------------------------------------------------------------
+    # Density variants (area-normalised ranking; cf. paper Section 6.2)
+    # ------------------------------------------------------------------
+
+    def snapshot_density_topk(
+        self, t: float, k: int, pois: Sequence[Poi] | None = None
+    ) -> TopKResult:
+        """The k POIs with the highest snapshot flow *density* (flow/m²).
+
+        Density ranking needs every POI's exact flow, so it always uses the
+        iterative flow computation; the returned entries carry densities in
+        their ``flow`` field.
+        """
+        query_pois, _ = self._query_pois(pois)
+        flows = self.snapshot_flows(t, pois=query_pois)
+        return rank_top_k_by_density(flows, query_pois, k)
+
+    def interval_density_topk(
+        self,
+        t_start: float,
+        t_end: float,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+    ) -> TopKResult:
+        """The k POIs with the highest interval flow density (flow/m²)."""
+        query_pois, _ = self._query_pois(pois)
+        flows = self.interval_flows(t_start, t_end, pois=query_pois)
+        return rank_top_k_by_density(flows, query_pois, k)
+
+    # ------------------------------------------------------------------
+    # Uncertainty-region introspection
+    # ------------------------------------------------------------------
+
+    def snapshot_region_of(self, object_id: ObjectId, t: float) -> Region | None:
+        """``UR(o, t)`` for one object, or ``None`` if not trackable at t."""
+        for context in snapshot_contexts(self.artree, t):
+            if context.object_id == object_id:
+                return snapshot_region(
+                    context,
+                    self.deployment,
+                    self.v_max,
+                    self.topology,
+                    self.inner_allowance,
+                )
+        return None
+
+    def interval_region_of(
+        self, object_id: ObjectId, t_start: float, t_end: float
+    ) -> IntervalUncertainty | None:
+        """``UR(o, [t_s, t_e])`` for one object, or ``None`` if irrelevant."""
+        for context in interval_contexts(self.artree, t_start, t_end):
+            if context.object_id == object_id:
+                return interval_uncertainty(
+                    context,
+                    self.deployment,
+                    self.v_max,
+                    self.topology,
+                    self.inner_allowance,
+                )
+        return None

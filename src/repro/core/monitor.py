@@ -1,0 +1,136 @@
+"""Continuous top-k monitoring (extension; cf. the paper's Section 7
+outlook on continuous queries).
+
+A building operator rarely asks one query — they watch a dashboard.  The
+monitors re-evaluate a top-k query as time advances and report *changes*:
+
+* :class:`SnapshotTopKMonitor` — tracks Problem 1 at the current instant;
+* :class:`SlidingIntervalTopKMonitor` — tracks Problem 2 over a sliding
+  window ``[now - window, now]``.
+
+Evaluation is recompute-based (each tick is one engine query); the value
+added is the change tracking — which POIs entered and left the top-k, and
+how ranks moved — which is what downstream alerting consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..indoor.poi import Poi
+from .engine import FlowEngine
+from .queries import TopKResult
+
+__all__ = ["TopKUpdate", "SnapshotTopKMonitor", "SlidingIntervalTopKMonitor"]
+
+
+@dataclass(frozen=True)
+class TopKUpdate:
+    """One monitoring tick: the fresh result plus what changed."""
+
+    t: float
+    result: TopKResult
+    entered: tuple[str, ...]
+    exited: tuple[str, ...]
+    rank_changes: tuple[tuple[str, int, int], ...]
+    """(poi_id, previous_rank, new_rank) for POIs staying in the top-k;
+    ranks are 1-based."""
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.exited or self.rank_changes)
+
+
+class _BaseMonitor:
+    def __init__(
+        self,
+        engine: FlowEngine,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+    ):
+        if k < 1:
+            raise ValueError("k must be positive")
+        self.engine = engine
+        self.k = k
+        self.pois = pois
+        self.method = method
+        self._last_t: float | None = None
+        self._last_ranks: dict[str, int] = {}
+
+    def _evaluate(self, t: float) -> TopKResult:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def advance(self, t: float) -> TopKUpdate:
+        """Move the monitor to time ``t`` and report changes.
+
+        Time must not run backwards; re-evaluating the same instant is
+        allowed (and reports no changes unless the data changed).
+        """
+        if self._last_t is not None and t < self._last_t:
+            raise ValueError(
+                f"monitor time went backwards: {t} < {self._last_t}"
+            )
+        result = self._evaluate(t)
+        new_ranks = {
+            entry.poi.poi_id: rank
+            for rank, entry in enumerate(result.entries, start=1)
+        }
+        entered = tuple(
+            poi_id for poi_id in new_ranks if poi_id not in self._last_ranks
+        )
+        exited = tuple(
+            poi_id for poi_id in self._last_ranks if poi_id not in new_ranks
+        )
+        rank_changes = tuple(
+            (poi_id, self._last_ranks[poi_id], rank)
+            for poi_id, rank in new_ranks.items()
+            if poi_id in self._last_ranks and self._last_ranks[poi_id] != rank
+        )
+        # The very first tick reports everything as "entered" by design —
+        # downstream consumers initialise their dashboards from it.
+        self._last_t = t
+        self._last_ranks = new_ranks
+        return TopKUpdate(
+            t=t,
+            result=result,
+            entered=entered,
+            exited=exited,
+            rank_changes=rank_changes,
+        )
+
+    def run(self, times: Sequence[float]) -> list[TopKUpdate]:
+        """Advance through ``times`` and collect all updates."""
+        return [self.advance(t) for t in times]
+
+
+class SnapshotTopKMonitor(_BaseMonitor):
+    """Continuous Problem 1: the top-k POIs *right now*."""
+
+    def _evaluate(self, t: float) -> TopKResult:
+        return self.engine.snapshot_topk(
+            t, self.k, pois=self.pois, method=self.method
+        )
+
+
+class SlidingIntervalTopKMonitor(_BaseMonitor):
+    """Continuous Problem 2 over a trailing window ``[t - window, t]``."""
+
+    def __init__(
+        self,
+        engine: FlowEngine,
+        k: int,
+        window_seconds: float,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+    ):
+        super().__init__(engine, k, pois=pois, method=method)
+        if window_seconds <= 0:
+            raise ValueError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+
+    def _evaluate(self, t: float) -> TopKResult:
+        return self.engine.interval_topk(
+            t - self.window_seconds, t, self.k, pois=self.pois, method=self.method
+        )

@@ -1,0 +1,141 @@
+"""Query and result types for the top-k indoor POI queries.
+
+The paper formulates two problems (Section 2.2):
+
+* **Snapshot Top-k Indoor POIs Query** — given POIs ``P``, a time point
+  ``t`` and ``k``, return the ``k`` POIs with the highest snapshot flow
+  ``Φ_t(p)``.
+* **Interval Top-k Indoor POIs Query** — the same with interval flow
+  ``Φ_[t_s, t_e](p)``.
+
+Flows are weighted counts: each object contributes its presence (a value in
+``[0, 1]``) to every POI its uncertainty region overlaps (Definition 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..indoor.poi import Poi
+
+__all__ = [
+    "SnapshotTopKQuery",
+    "IntervalTopKQuery",
+    "RankedPoi",
+    "TopKResult",
+    "rank_top_k",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotTopKQuery:
+    """Parameters of Problem 1."""
+
+    t: float
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalTopKQuery:
+    """Parameters of Problem 2."""
+
+    t_start: float
+    t_end: float
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.t_end < self.t_start:
+            raise ValueError("t_end precedes t_start")
+
+
+@dataclass(frozen=True, slots=True)
+class RankedPoi:
+    """One result row: a POI and its flow value."""
+
+    poi: Poi
+    flow: float
+
+
+@dataclass(frozen=True)
+class TopKResult:
+    """The ranked top-k POIs, highest flow first."""
+
+    entries: tuple[RankedPoi, ...]
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)
+
+    def __getitem__(self, index):
+        return self.entries[index]
+
+    @property
+    def pois(self) -> list[Poi]:
+        return [entry.poi for entry in self.entries]
+
+    @property
+    def poi_ids(self) -> list[str]:
+        return [entry.poi.poi_id for entry in self.entries]
+
+    @property
+    def flows(self) -> list[float]:
+        return [entry.flow for entry in self.entries]
+
+
+def rank_top_k(
+    flows: Mapping[str, float], pois: Sequence[Poi], k: int
+) -> TopKResult:
+    """The ``k`` highest-flow POIs (ties broken by POI id, deterministic).
+
+    POIs absent from ``flows`` count as zero flow, so the result always has
+    ``min(k, len(pois))`` entries, as the problem definitions require a
+    k-subset of ``P``.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    ordered = sorted(
+        pois, key=lambda poi: (-flows.get(poi.poi_id, 0.0), poi.poi_id)
+    )
+    return TopKResult(
+        entries=tuple(
+            RankedPoi(poi=poi, flow=flows.get(poi.poi_id, 0.0))
+            for poi in ordered[:k]
+        )
+    )
+
+
+def rank_top_k_by_density(
+    flows: Mapping[str, float], pois: Sequence[Poi], k: int
+) -> TopKResult:
+    """The ``k`` POIs with the highest *flow density* (flow per m²).
+
+    The area-normalised variant of the top-k ranking — the indoor analogue
+    of the outdoor density queries the paper relates to (Section 6.2).
+    Plain flow favours large POIs (more area to intersect uncertainty
+    regions); density surfaces small-but-crowded spots instead.  The
+    ``flow`` field of each returned entry carries the density value.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+
+    def density(poi: Poi) -> float:
+        area = poi.area()
+        if area <= 0.0:
+            return 0.0
+        return flows.get(poi.poi_id, 0.0) / area
+
+    ordered = sorted(pois, key=lambda poi: (-density(poi), poi.poi_id))
+    return TopKResult(
+        entries=tuple(
+            RankedPoi(poi=poi, flow=density(poi)) for poi in ordered[:k]
+        )
+    )

@@ -1,0 +1,140 @@
+"""Tracking-state resolution (paper, Sections 3.1.1 and 3.2).
+
+At a time point ``t`` an object is *active* when some tracking record
+covers ``t`` and *inactive* otherwise.  Either way, up to three records
+matter for the uncertainty analysis:
+
+* ``rd_cov`` — the covering record (active state only);
+* ``rd_pre`` — the record immediately before (the covering record's
+  predecessor when active, the last record ending before ``t`` when
+  inactive);
+* ``rd_suc`` — the first record starting after ``t`` (inactive state only).
+
+Over a time interval the relevant records form a chain, whose start and end
+records per the four active/inactive combinations are listed in the paper's
+Table 3.  Both resolutions are computed from AR-tree query results — the
+point query hands back exactly the leaf entry whose augmented interval
+covers ``t``, the range query hands back the chain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..index import ARLeafEntry, ARTree
+from ..tracking.records import ObjectId, TrackingRecord
+
+__all__ = [
+    "TrackingState",
+    "SnapshotContext",
+    "IntervalContext",
+    "snapshot_context",
+    "snapshot_contexts",
+    "interval_contexts",
+]
+
+
+class TrackingState(enum.Enum):
+    """Whether the object is being detected at the queried time."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotContext:
+    """The records relevant to one object at one time point."""
+
+    object_id: ObjectId
+    t: float
+    rd_pre: TrackingRecord | None
+    rd_cov: TrackingRecord | None
+    rd_suc: TrackingRecord | None
+
+    @property
+    def state(self) -> TrackingState:
+        return (
+            TrackingState.ACTIVE if self.rd_cov is not None else TrackingState.INACTIVE
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class IntervalContext:
+    """The record chain relevant to one object over one time window.
+
+    ``records`` is time-ordered and spans from the Table 3 start record to
+    the end record: it includes ``rd_pre(t_s)`` when the object is inactive
+    at ``t_s`` and ``rd_suc(t_e)`` when inactive at ``t_e``.  Records at the
+    chain boundaries may lie entirely outside the window — they then only
+    anchor the boundary uncertainty pieces, not a detection episode.
+    """
+
+    object_id: ObjectId
+    t_start: float
+    t_end: float
+    records: tuple[TrackingRecord, ...]
+
+    def state_at(self, t: float) -> TrackingState:
+        covered = any(record.covers(t) for record in self.records)
+        return TrackingState.ACTIVE if covered else TrackingState.INACTIVE
+
+
+def snapshot_context(entry: ARLeafEntry, t: float) -> SnapshotContext:
+    """Resolve the state encoded by an AR-tree leaf entry covering ``t``."""
+    record = entry.record
+    if record.covers(t):
+        return SnapshotContext(
+            object_id=record.object_id,
+            t=t,
+            rd_pre=entry.predecessor,
+            rd_cov=record,
+            rd_suc=None,
+        )
+    # The augmented interval covers t but the record itself does not: t
+    # falls in the undetected gap (rd_pre.t_e, record.t_s).
+    return SnapshotContext(
+        object_id=record.object_id,
+        t=t,
+        rd_pre=entry.predecessor,
+        rd_cov=None,
+        rd_suc=record,
+    )
+
+
+def snapshot_contexts(artree: ARTree, t: float) -> list[SnapshotContext]:
+    """State resolution for every object trackable at time ``t``.
+
+    Objects whose tracking history does not reach ``t`` (last record ended
+    earlier, first record starts later) have no covering augmented interval
+    and are — as in the paper — not part of the analysis.
+    """
+    return [snapshot_context(entry, t) for entry in artree.point_query(t)]
+
+
+def interval_contexts(
+    artree: ARTree, t_start: float, t_end: float
+) -> list[IntervalContext]:
+    """Record-chain resolution for every object relevant to the window."""
+    by_object: dict[ObjectId, list[ARLeafEntry]] = {}
+    for entry in artree.range_query(t_start, t_end):
+        by_object.setdefault(entry.object_id, []).append(entry)
+    contexts = []
+    for object_id, entries in by_object.items():
+        entries.sort(key=lambda e: (e.t1, e.t2))
+        records = [entry.record for entry in entries]
+        first = entries[0]
+        if first.predecessor is not None and first.record.t_s > t_start:
+            # The chain's start record when the object is inactive at
+            # t_start (Table 3): the record just before the first gap the
+            # window touches.
+            records.insert(0, first.predecessor)
+        contexts.append(
+            IntervalContext(
+                object_id=object_id,
+                t_start=t_start,
+                t_end=t_end,
+                records=tuple(records),
+            )
+        )
+    return contexts

@@ -1,0 +1,20 @@
+"""Uncertainty-region derivation (paper, Section 3)."""
+
+from .interval import Episode, IntervalUncertainty, interval_uncertainty
+from .snapshot import snapshot_mbr, snapshot_region
+from .topology import (
+    PathReachabilityConstraint,
+    ReachabilityConstraint,
+    TopologyChecker,
+)
+
+__all__ = [
+    "Episode",
+    "IntervalUncertainty",
+    "PathReachabilityConstraint",
+    "ReachabilityConstraint",
+    "TopologyChecker",
+    "interval_uncertainty",
+    "snapshot_mbr",
+    "snapshot_region",
+]

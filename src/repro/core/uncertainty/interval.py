@@ -1,0 +1,232 @@
+"""Interval uncertainty regions ``UR(o, [t_s, t_e])`` (paper, Section 3.2).
+
+The region over a window is a union of per-episode pieces derived from the
+object's record chain (the paper's four cases, Table 3 and Figures 4–7,
+unified):
+
+* **detection episodes** — for every record whose detection interval
+  intersects the window, the device's detection disk (the object was
+  provably inside it);
+* **gap episodes** — for every undetected gap between consecutive records
+  that intersects the window, the extended ellipse
+  ``Theta(dev_i, dev_j, rd_i.t_e, rd_j.t_s)``; when the window boundary
+  falls *inside* the gap, the ellipse is intersected with the paper's
+  boundary rings (``Theta_s ∩ Ring_s`` / ``Theta_e ∩ Ring_e`` of Cases
+  2–4);
+* **lead/trail episodes** — when the chain has no record before ``t_s``
+  (or after ``t_e``), the ring reachable from the first (last) detection
+  bounds the uncovered window part.
+
+Each episode keeps its own MBR; the list of episode MBRs is exactly the
+"series of much tighter MBRs" of the improved join algorithm (Section
+4.3.2) — one small box per consecutive-record pair instead of one large
+trajectory box full of dead space.
+
+An optional :class:`TopologyChecker` intersects the indoor-reachability
+constraints into every episode (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...geometry import (
+    EmptyRegion,
+    ExtendedEllipse,
+    Mbr,
+    Region,
+    Ring,
+    intersect_all,
+    union_all,
+)
+from ...indoor.devices import Deployment, Device
+from ...tracking.records import ObjectId, TrackingRecord
+from ..states import IntervalContext
+from .snapshot import slack_ring
+from .topology import TopologyChecker
+
+__all__ = ["Episode", "IntervalUncertainty", "interval_uncertainty"]
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One piece of an interval uncertainty region with its own MBR."""
+
+    kind: str  # "detection" | "gap" | "lead" | "trail"
+    region: Region
+
+    @property
+    def mbr(self) -> Mbr | None:
+        return self.region.mbr
+
+
+class IntervalUncertainty:
+    """``UR(o, [t_s, t_e])`` as a union of episodes."""
+
+    def __init__(
+        self,
+        object_id: ObjectId,
+        t_start: float,
+        t_end: float,
+        episodes: list[Episode],
+    ):
+        self.object_id = object_id
+        self.t_start = t_start
+        self.t_end = t_end
+        self.episodes = tuple(episodes)
+        self._region: Region | None = None
+
+    @property
+    def region(self) -> Region:
+        """The full uncertainty region (built lazily, cached)."""
+        if self._region is None:
+            parts = [episode.region for episode in self.episodes]
+            self._region = union_all(parts) if parts else EmptyRegion()
+        return self._region
+
+    @property
+    def mbr(self) -> Mbr | None:
+        """One overall bounding box (the coarse pre-improvement MBR)."""
+        boxes = self.segment_mbrs()
+        return Mbr.union_all(boxes) if boxes else None
+
+    def segment_mbrs(self) -> list[Mbr]:
+        """Per-episode MBRs — the finer boxes of the improved join."""
+        return [episode.mbr for episode in self.episodes if episode.mbr is not None]
+
+
+def interval_uncertainty(
+    context: IntervalContext,
+    deployment: Deployment,
+    v_max: float,
+    topology: TopologyChecker | None = None,
+    inner_allowance: float = 0.0,
+) -> IntervalUncertainty:
+    """Derive the interval uncertainty region from a record chain.
+
+    ``inner_allowance`` relaxes ring inner exclusions for sampled
+    positioning systems; see
+    :func:`repro.core.uncertainty.snapshot.snapshot_region`.
+    """
+    if v_max <= 0:
+        raise ValueError("v_max must be positive")
+    t_start, t_end = context.t_start, context.t_end
+    records = context.records
+    episodes: list[Episode] = []
+
+    for record in records:
+        if record.overlaps(t_start, t_end):
+            device = deployment.device(record.device_id)
+            episodes.append(Episode(kind="detection", region=device.range))
+
+    for current, following in zip(records, records[1:]):
+        episode = _gap_episode(
+            current,
+            following,
+            t_start,
+            t_end,
+            deployment,
+            v_max,
+            topology,
+            inner_allowance,
+        )
+        if episode is not None:
+            episodes.append(episode)
+
+    first, last = records[0], records[-1]
+    if first.t_s > t_start:
+        # No record precedes the window start (otherwise the chain would
+        # begin with it): bound the uncovered head by the ring reachable
+        # backwards from the first detection.
+        episodes.append(
+            _boundary_ring_episode(
+                "lead",
+                deployment.device(first.device_id),
+                v_max * (first.t_s - t_start),
+                topology,
+                inner_allowance,
+            )
+        )
+    if last.t_e < t_end:
+        episodes.append(
+            _boundary_ring_episode(
+                "trail",
+                deployment.device(last.device_id),
+                v_max * (t_end - last.t_e),
+                topology,
+                inner_allowance,
+            )
+        )
+    return IntervalUncertainty(context.object_id, t_start, t_end, episodes)
+
+
+def _gap_episode(
+    current: TrackingRecord,
+    following: TrackingRecord,
+    t_start: float,
+    t_end: float,
+    deployment: Deployment,
+    v_max: float,
+    topology: TopologyChecker | None,
+    inner_allowance: float = 0.0,
+) -> Episode | None:
+    """The extended-ellipse piece for one undetected gap, if it matters."""
+    gap_start, gap_end = current.t_e, following.t_s
+    if gap_end <= gap_start:
+        return None  # back-to-back records: no undetected gap
+    overlap_start = max(gap_start, t_start)
+    overlap_end = min(gap_end, t_end)
+    # A zero-length overlap is kept when the window itself is degenerate
+    # (t_start == t_end inside the gap): the episode then reduces to the
+    # snapshot uncertainty region at that instant, keeping the interval
+    # query consistent with the snapshot query in the limit.
+    if overlap_start > overlap_end:
+        return None
+    if overlap_start == overlap_end and not (
+        t_start == t_end and gap_start < t_start < gap_end
+    ):
+        return None
+    device_a = deployment.device(current.device_id)
+    device_b = deployment.device(following.device_id)
+    total_budget = v_max * (gap_end - gap_start)
+    # Cheap Euclidean predicates first, indoor-distance constraints last:
+    # the intersection evaluates parts left to right on a shrinking point
+    # set, so the expensive topology checks only see survivors.
+    parts: list[Region] = [
+        ExtendedEllipse(device_a.range, device_b.range, total_budget)
+    ]
+    topo_parts: list[Region] = []
+    if topology is not None:
+        topo_parts.append(
+            topology.path_constraint(device_a, device_b, total_budget)
+        )
+    if overlap_end < gap_end:
+        # The window ends inside the gap (Cases 3 and 4): the object cannot
+        # have moved farther from dev_a than the time elapsed allows —
+        # Theta_e ∩ Ring_e.
+        budget = v_max * (overlap_end - gap_start)
+        parts.append(slack_ring(device_a.range, budget, inner_allowance))
+        if topology is not None:
+            topo_parts.append(topology.ring_constraint(device_a, budget))
+    if overlap_start > gap_start:
+        # The window starts inside the gap (Cases 2 and 4): the object must
+        # still reach dev_b in the remaining time — Theta_s ∩ Ring_s.
+        budget = v_max * (gap_end - overlap_start)
+        parts.append(slack_ring(device_b.range, budget, inner_allowance))
+        if topology is not None:
+            topo_parts.append(topology.ring_constraint(device_b, budget))
+    return Episode(kind="gap", region=intersect_all(parts + topo_parts))
+
+
+def _boundary_ring_episode(
+    kind: str,
+    device: Device,
+    budget: float,
+    topology: TopologyChecker | None,
+    inner_allowance: float = 0.0,
+) -> Episode:
+    budget = max(0.0, budget)
+    parts: list[Region] = [slack_ring(device.range, budget, inner_allowance)]
+    if topology is not None:
+        parts.append(topology.ring_constraint(device, budget))
+    return Episode(kind=kind, region=intersect_all(parts))

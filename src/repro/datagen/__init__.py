@@ -1,0 +1,29 @@
+"""Workload generators: the paper's synthetic and (simulated) CPH data."""
+
+from .config import (
+    PAPER_DETECTION_RANGES,
+    PAPER_K_VALUES,
+    PAPER_OBJECT_COUNTS,
+    PAPER_POI_PERCENTAGES,
+    PAPER_WINDOW_MINUTES,
+    TOTAL_POIS,
+    CphConfig,
+    SyntheticConfig,
+)
+from .cph import build_cph_dataset
+from .dataset import Dataset
+from .synthetic import build_synthetic_dataset
+
+__all__ = [
+    "CphConfig",
+    "Dataset",
+    "PAPER_DETECTION_RANGES",
+    "PAPER_K_VALUES",
+    "PAPER_OBJECT_COUNTS",
+    "PAPER_POI_PERCENTAGES",
+    "PAPER_WINDOW_MINUTES",
+    "SyntheticConfig",
+    "TOTAL_POIS",
+    "build_cph_dataset",
+    "build_synthetic_dataset",
+]

@@ -1,0 +1,84 @@
+"""A generated data set bundled with everything queries need."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..core.engine import FlowEngine
+from ..indoor.devices import Deployment
+from ..indoor.floorplan import FloorPlan
+from ..indoor.poi import Poi
+from ..tracking.table import ObjectTrackingTable
+from ..tracking.trajectory import Trajectory
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """A floor plan + deployment + POIs + OTT (+ ground truth) bundle."""
+
+    floorplan: FloorPlan
+    deployment: Deployment
+    pois: list[Poi]
+    ott: ObjectTrackingTable
+    trajectories: tuple[Trajectory, ...]
+    v_max: float
+    name: str = "dataset"
+    sampling_interval: float = 1.0
+
+    def trajectory_of(self, object_id) -> Trajectory:
+        """Ground-truth trajectory of one object (simulated data only)."""
+        for trajectory in self.trajectories:
+            if trajectory.object_id == object_id:
+                return trajectory
+        raise KeyError(f"no trajectory for object {object_id!r}")
+
+    def engine(self, **engine_kwargs) -> FlowEngine:
+        """A query engine over this data set (indexes built eagerly).
+
+        Unless overridden, ``detection_slack`` defaults to twice the data
+        set's sampling interval — the generated readings are sampled, so
+        the paper's continuous-detection idealisation needs that much
+        slack for the uncertainty regions to stay sound (see FlowEngine).
+        """
+        engine_kwargs.setdefault(
+            "detection_slack", 2.0 * self.sampling_interval
+        )
+        return FlowEngine(
+            floorplan=self.floorplan,
+            deployment=self.deployment,
+            ott=self.ott,
+            pois=self.pois,
+            v_max=self.v_max,
+            **engine_kwargs,
+        )
+
+    def poi_subset(self, percentage: float, seed: int = 0) -> list[Poi]:
+        """A random ``percentage``% subset of the POIs (paper, Section 5.1).
+
+        "Given a percent, the query POI set is determined as a random
+        subset of the total 75 POIs."  Deterministic for a given seed.
+        """
+        if not 0 < percentage <= 100:
+            raise ValueError("percentage must be in (0, 100]")
+        count = max(1, round(len(self.pois) * percentage / 100.0))
+        rng = random.Random(seed)
+        return rng.sample(self.pois, count)
+
+    def time_span(self) -> tuple[float, float]:
+        return self.ott.time_span()
+
+    def mid_time(self) -> float:
+        """A query time point in the thick of the data."""
+        start, end = self.time_span()
+        return (start + end) / 2.0
+
+    def window(self, minutes: float) -> tuple[float, float]:
+        """A query window of the given length centred on the data."""
+        middle = self.mid_time()
+        half = minutes * 60.0 / 2.0
+        start, end = self.time_span()
+        return (max(start, middle - half), min(end, middle + half))

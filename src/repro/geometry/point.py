@@ -1,0 +1,77 @@
+"""Planar points and basic vector arithmetic.
+
+The whole library works in a flat 2D world (one building floor, meters as
+units), so a tiny immutable point type is all we need.  Points support the
+arithmetic used by the movement simulator (interpolation along a leg) and by
+the geometric predicates (distances, dot products).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+__all__ = ["Point", "EPSILON"]
+
+#: Geometric tolerance used by predicates throughout the library.  One
+#: micrometre is far below any positioning accuracy we model, so treating
+#: distances within EPSILON as equal never changes a query answer.
+EPSILON = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """An immutable point (or free vector) in the plane."""
+
+    x: float
+    y: float
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def dot(self, other: "Point") -> float:
+        """Dot product, treating both points as vectors from the origin."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the cross product of the two vectors."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length of the vector."""
+        return math.hypot(self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def midpoint(self, other: "Point") -> "Point":
+        """The point halfway between this point and ``other``."""
+        return Point((self.x + other.x) / 2.0, (self.y + other.y) / 2.0)
+
+    def lerp(self, other: "Point", fraction: float) -> "Point":
+        """Linear interpolation: ``self`` at 0.0, ``other`` at 1.0."""
+        return Point(
+            self.x + (other.x - self.x) * fraction,
+            self.y + (other.y - self.y) * fraction,
+        )
+
+    def almost_equal(self, other: "Point", tolerance: float = EPSILON) -> bool:
+        """Whether both coordinates match within ``tolerance``."""
+        return (
+            abs(self.x - other.x) <= tolerance
+            and abs(self.y - other.y) <= tolerance
+        )

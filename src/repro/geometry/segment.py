@@ -1,0 +1,133 @@
+"""Line segments.
+
+Segments show up in three places: polygon edges (containment tests), walls
+and doors of the floor plan, and the legs of simulated trajectories.  The
+movement-detection model additionally needs the times at which a segment,
+traversed at constant speed, enters and leaves a circle — that computation
+lives here as :meth:`Segment.circle_intersection_fractions`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .point import EPSILON, Point
+
+__all__ = ["Segment"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """An immutable directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        return self.start.distance_to(self.end)
+
+    def direction(self) -> Point:
+        """Unit direction vector (zero vector for degenerate segments)."""
+        length = self.length()
+        if length <= EPSILON:
+            return Point(0.0, 0.0)
+        delta = self.end - self.start
+        return Point(delta.x / length, delta.y / length)
+
+    def point_at(self, fraction: float) -> Point:
+        """Point at parameter ``fraction`` in [0, 1] along the segment."""
+        return self.start.lerp(self.end, fraction)
+
+    def midpoint(self) -> Point:
+        return self.start.midpoint(self.end)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def distance_to_point(self, point: Point) -> float:
+        """Euclidean distance from ``point`` to the closest segment point."""
+        return point.distance_to(self.closest_point_to(point))
+
+    def closest_point_to(self, point: Point) -> Point:
+        """The segment point closest to ``point``."""
+        delta = self.end - self.start
+        denominator = delta.dot(delta)
+        if denominator <= EPSILON:
+            return self.start
+        t = (point - self.start).dot(delta) / denominator
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t)
+
+    # ------------------------------------------------------------------
+    # Intersections
+    # ------------------------------------------------------------------
+
+    def intersects_segment(self, other: "Segment") -> bool:
+        """Whether the two closed segments share at least one point."""
+
+        def orientation(a: Point, b: Point, c: Point) -> int:
+            value = (b - a).cross(c - a)
+            if value > EPSILON:
+                return 1
+            if value < -EPSILON:
+                return -1
+            return 0
+
+        def on_segment(a: Point, b: Point, c: Point) -> bool:
+            return (
+                min(a.x, b.x) - EPSILON <= c.x <= max(a.x, b.x) + EPSILON
+                and min(a.y, b.y) - EPSILON <= c.y <= max(a.y, b.y) + EPSILON
+            )
+
+        o1 = orientation(self.start, self.end, other.start)
+        o2 = orientation(self.start, self.end, other.end)
+        o3 = orientation(other.start, other.end, self.start)
+        o4 = orientation(other.start, other.end, self.end)
+
+        if o1 != o2 and o3 != o4:
+            return True
+        if o1 == 0 and on_segment(self.start, self.end, other.start):
+            return True
+        if o2 == 0 and on_segment(self.start, self.end, other.end):
+            return True
+        if o3 == 0 and on_segment(other.start, other.end, self.start):
+            return True
+        if o4 == 0 and on_segment(other.start, other.end, self.end):
+            return True
+        return False
+
+    def circle_intersection_fractions(
+        self, center: Point, radius: float
+    ) -> tuple[float, float] | None:
+        """The parameter interval of this segment inside a circle.
+
+        Returns ``(f_in, f_out)`` with ``0 <= f_in <= f_out <= 1`` such that
+        the segment point lies within distance ``radius`` of ``center``
+        exactly for parameters in ``[f_in, f_out]``, or ``None`` when the
+        segment never enters the circle.  Used to compute, analytically, the
+        time window during which a moving object is inside a proximity
+        detection range.
+        """
+        delta = self.end - self.start
+        offset = self.start - center
+        a = delta.dot(delta)
+        if a <= EPSILON:
+            # Degenerate segment: inside iff the single point is inside.
+            if offset.norm() <= radius:
+                return (0.0, 1.0)
+            return None
+        b = 2.0 * offset.dot(delta)
+        c = offset.dot(offset) - radius * radius
+        discriminant = b * b - 4.0 * a * c
+        if discriminant < 0.0:
+            return None
+        sqrt_disc = math.sqrt(discriminant)
+        t_in = (-b - sqrt_disc) / (2.0 * a)
+        t_out = (-b + sqrt_disc) / (2.0 * a)
+        t_in = max(t_in, 0.0)
+        t_out = min(t_out, 1.0)
+        if t_in > t_out:
+            return None
+        return (t_in, t_out)

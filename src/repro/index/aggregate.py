@@ -1,0 +1,80 @@
+"""Count-augmented (aggregate) R-tree.
+
+The join-based algorithms (paper, Algorithms 2 and 5) build an in-memory
+R-tree ``R_I`` over object MBRs where *each node entry is augmented with a
+``count`` field — the number of objects in the corresponding sub-tree*.
+Those counts upper-bound a POI's flow during the join: each object
+contributes at most presence 1, so a group of ``count`` objects contributes
+at most ``count`` flow.
+
+The counts are derived once after construction (the tree is static for the
+lifetime of a query), which keeps the base R-tree untouched.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..geometry import Mbr
+from .rtree import RTree, RTreeEntry, RTreeNode
+
+__all__ = ["AggregateRTree"]
+
+
+class AggregateRTree(RTree):
+    """An R-tree whose entries report the number of objects below them."""
+
+    def __init__(self, max_entries: int = 8, min_entries: int | None = None):
+        super().__init__(max_entries=max_entries, min_entries=min_entries)
+        self._counts: dict[int, int] = {}
+        self._counts_dirty = True
+
+    @classmethod
+    def build(
+        cls,
+        items: Sequence[tuple[Mbr, Any]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "AggregateRTree":
+        """Bulk-load ``items`` and finalize the aggregate counts."""
+        tree = cls.bulk_load(items, max_entries=max_entries, min_entries=min_entries)
+        tree.refresh_counts()
+        return tree
+
+    @classmethod
+    def bulk_load(cls, items, max_entries=8, min_entries=None) -> "AggregateRTree":
+        tree = super().bulk_load(
+            items, max_entries=max_entries, min_entries=min_entries
+        )
+        tree._counts_dirty = True
+        return tree
+
+    def insert(self, mbr: Mbr, item: Any) -> None:
+        super().insert(mbr, item)
+        self._counts_dirty = True
+
+    def count(self, entry: RTreeEntry) -> int:
+        """Objects in ``entry``'s subtree (1 for a leaf entry)."""
+        if entry.is_leaf_entry:
+            return 1
+        if self._counts_dirty:
+            self.refresh_counts()
+        return self._counts[id(entry)]
+
+    def refresh_counts(self) -> None:
+        """Recompute all subtree counts bottom-up."""
+        self._counts = {}
+        self._count_node(self.root)
+        self._counts_dirty = False
+
+    def _count_node(self, node: RTreeNode) -> int:
+        total = 0
+        for entry in node.entries:
+            if entry.is_leaf_entry:
+                total += 1
+            else:
+                assert entry.child is not None
+                child_count = self._count_node(entry.child)
+                self._counts[id(entry)] = child_count
+                total += child_count
+        return total

@@ -1,0 +1,199 @@
+"""The AR-tree: an augmented temporal index over the OTT.
+
+The paper (Section 4.1) indexes the object tracking table with an augmented
+1D R-tree.  A tracking record ``rd_c`` is indexed by a leaf entry
+``(t1, t2, Ptr_p, Ptr_c)`` where ``Ptr_c`` points to ``rd_c``, ``Ptr_p``
+points to the object's previous record ``rd_p``, and ``(t1, t2] =
+(rd_p.t_e, rd_c.t_e]`` is the *augmented tracking time interval*: it covers
+both the undetected gap before ``rd_c`` and ``rd_c``'s own detection
+episode.  Non-leaf entries store the minimum bounding interval of their
+child node.
+
+* A **point query** at ``t`` returns, for every object, the leaf entry whose
+  augmented interval covers ``t`` — from which the tracking state (active /
+  inactive) and the relevant ``rd_pre``/``rd_cov``/``rd_suc`` records follow
+  directly (Section 3.1.1).
+* A **range query** over ``[t_s, t_e]`` returns the chain of leaf entries
+  whose augmented intervals overlap the window, yielding the start, end and
+  in-between records of Table 3.
+
+The tree is bulk-loaded bottom-up from the frozen OTT (sorted by interval
+start), which packs nodes tightly; the OTT is static during analysis, so no
+dynamic maintenance is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
+    # through repro.tracking, whose detection model uses the indoor package,
+    # which indexes rooms with this package's R-tree)
+    from ..tracking.records import ObjectId, TrackingRecord
+    from ..tracking.table import ObjectTrackingTable
+
+__all__ = ["ARTree", "ARLeafEntry"]
+
+
+@dataclass(frozen=True, slots=True)
+class ARLeafEntry:
+    """A leaf entry ``(t1, t2, Ptr_p, Ptr_c)`` of the AR-tree.
+
+    ``predecessor`` is ``None`` for an object's first record, in which case
+    the augmented interval degenerates to the record's own episode
+    ``[record.t_s, record.t_e]`` (closed at the start).
+    """
+
+    t1: float
+    t2: float
+    predecessor: TrackingRecord | None
+    record: TrackingRecord
+
+    @property
+    def object_id(self) -> ObjectId:
+        return self.record.object_id
+
+    def covers(self, t: float) -> bool:
+        """Whether the augmented interval covers time ``t``.
+
+        The interval is ``(t1, t2]`` when a predecessor exists (``t = t1``
+        belongs to the predecessor's entry) and ``[t1, t2]`` otherwise.
+        """
+        if self.predecessor is None:
+            return self.t1 <= t <= self.t2
+        return self.t1 < t <= self.t2
+
+    def overlaps(self, t_start: float, t_end: float) -> bool:
+        """Whether the augmented interval intersects ``[t_start, t_end]``."""
+        return self.t1 <= t_end and self.t2 >= t_start
+
+
+class _ARNode:
+    """Internal AR-tree node: children plus their bounding interval."""
+
+    __slots__ = ("t_min", "t_max", "children", "entries")
+
+    def __init__(
+        self,
+        t_min: float,
+        t_max: float,
+        children: list["_ARNode"] | None,
+        entries: list[ARLeafEntry] | None,
+    ):
+        self.t_min = t_min
+        self.t_max = t_max
+        self.children = children
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.entries is not None
+
+
+class ARTree:
+    """Bulk-loaded augmented temporal index over an OTT."""
+
+    def __init__(self, fanout: int = 16):
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self.fanout = fanout
+        self._root: _ARNode | None = None
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, ott: ObjectTrackingTable, fanout: int = 16) -> "ARTree":
+        """Index a frozen OTT."""
+        tree = cls(fanout=fanout)
+        entries: list[ARLeafEntry] = []
+        for object_id in ott.object_ids:
+            previous: TrackingRecord | None = None
+            for record in ott.records_for(object_id):
+                t1 = previous.t_e if previous is not None else record.t_s
+                entries.append(
+                    ARLeafEntry(
+                        t1=t1, t2=record.t_e, predecessor=previous, record=record
+                    )
+                )
+                previous = record
+        tree._bulk_load(entries)
+        return tree
+
+    def _bulk_load(self, entries: list[ARLeafEntry]) -> None:
+        self._size = len(entries)
+        if not entries:
+            self._root = None
+            return
+        entries = sorted(entries, key=lambda entry: (entry.t1, entry.t2))
+        level: list[_ARNode] = []
+        for i in range(0, len(entries), self.fanout):
+            chunk = entries[i : i + self.fanout]
+            level.append(
+                _ARNode(
+                    t_min=min(entry.t1 for entry in chunk),
+                    t_max=max(entry.t2 for entry in chunk),
+                    children=None,
+                    entries=chunk,
+                )
+            )
+        while len(level) > 1:
+            parents: list[_ARNode] = []
+            for i in range(0, len(level), self.fanout):
+                chunk = level[i : i + self.fanout]
+                parents.append(
+                    _ARNode(
+                        t_min=min(node.t_min for node in chunk),
+                        t_max=max(node.t_max for node in chunk),
+                        children=chunk,
+                        entries=None,
+                    )
+                )
+            level = parents
+        self._root = level[0]
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def point_query(self, t: float) -> list[ARLeafEntry]:
+        """All leaf entries whose augmented interval covers ``t``.
+
+        There is at most one such entry per object.
+        """
+        return [entry for entry in self._candidates(t, t) if entry.covers(t)]
+
+    def range_query(self, t_start: float, t_end: float) -> list[ARLeafEntry]:
+        """All leaf entries overlapping the closed window ``[t_start, t_end]``.
+
+        Entries are returned in ``(t1, t2)`` order; callers group them by
+        object to reconstruct record chains.
+        """
+        if t_end < t_start:
+            raise ValueError("t_end precedes t_start")
+        return [
+            entry
+            for entry in self._candidates(t_start, t_end)
+            if entry.overlaps(t_start, t_end)
+        ]
+
+    def _candidates(self, t_start: float, t_end: float) -> Iterator[ARLeafEntry]:
+        if self._root is None:
+            return
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.t_min > t_end or node.t_max < t_start:
+                continue
+            if node.is_leaf:
+                assert node.entries is not None
+                yield from node.entries
+            else:
+                assert node.children is not None
+                stack.extend(node.children)

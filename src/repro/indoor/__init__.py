@@ -1,0 +1,53 @@
+"""Indoor space model: floor plans, POIs, devices, topology and distance."""
+
+from .builders import (
+    airport_pier,
+    deploy_airport_devices,
+    deploy_office_devices,
+    office_building,
+    partition_rooms_into_pois,
+)
+from .devices import Deployment, Device, thin_non_overlapping
+from .distance import IndoorDistanceOracle, PointDistanceField
+from .floorplan import Door, FloorPlan, Room
+from .multifloor import (
+    deploy_multi_storey_devices,
+    multi_storey_office,
+    stack_floorplans,
+    translate_floorplan,
+)
+from .io import (
+    indoor_model_from_dict,
+    indoor_model_to_dict,
+    load_indoor_model,
+    save_indoor_model,
+)
+from .poi import Poi, build_poi_index
+from .topology import DoorGraph
+
+__all__ = [
+    "Deployment",
+    "Device",
+    "Door",
+    "DoorGraph",
+    "FloorPlan",
+    "IndoorDistanceOracle",
+    "Poi",
+    "PointDistanceField",
+    "Room",
+    "airport_pier",
+    "build_poi_index",
+    "deploy_airport_devices",
+    "deploy_multi_storey_devices",
+    "deploy_office_devices",
+    "indoor_model_from_dict",
+    "indoor_model_to_dict",
+    "load_indoor_model",
+    "multi_storey_office",
+    "office_building",
+    "partition_rooms_into_pois",
+    "save_indoor_model",
+    "stack_floorplans",
+    "thin_non_overlapping",
+    "translate_floorplan",
+]

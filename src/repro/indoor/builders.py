@@ -1,0 +1,379 @@
+"""Floor-plan, deployment and POI builders.
+
+Two building archetypes cover the paper's experiments:
+
+* :func:`office_building` — the synthetic setting: rooms on both sides of a
+  long hallway, all connected to the hallway by doors, with RFID readers by
+  the doors and along the hallway (paper, Section 5.1).
+* :func:`airport_pier` — the CPH substitute: check-in hall, security room
+  and a long corridor with shops and gates, with sparse Bluetooth radios.
+
+The default office dimensions are chosen so that all candidate device
+positions stay pairwise farther apart than twice the largest detection
+range in the paper's sweep (2.5 m), honouring the non-overlap assumption;
+:func:`repro.indoor.devices.thin_non_overlapping` is applied as a final
+guard in both builders so custom parameters degrade to a sparser (still
+valid) deployment instead of an invalid one.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..geometry import Point, Polygon
+from .devices import Deployment, Device, thin_non_overlapping
+from .floorplan import Door, FloorPlan, Room
+from .poi import Poi
+
+__all__ = [
+    "office_building",
+    "deploy_office_devices",
+    "airport_pier",
+    "deploy_airport_devices",
+    "partition_rooms_into_pois",
+]
+
+
+# ----------------------------------------------------------------------
+# Office building (synthetic experiments)
+# ----------------------------------------------------------------------
+
+#: Default office geometry (meters).  With these values every candidate
+#: device pair is > 5 m apart, so detection ranges up to 2.5 m never
+#: overlap.
+ROOM_WIDTH = 12.0
+ROOM_DEPTH = 8.0
+HALLWAY_WIDTH = 8.0
+_BOTTOM_DOOR_OFFSET = 1.0
+_HALLWAY_DEVICE_OFFSET = 9.5
+
+
+def office_building(
+    rooms_per_side: int = 20,
+    room_width: float = ROOM_WIDTH,
+    room_depth: float = ROOM_DEPTH,
+    hallway_width: float = HALLWAY_WIDTH,
+) -> FloorPlan:
+    """An office floor: ``2 * rooms_per_side`` rooms along one hallway.
+
+    The hallway spans ``y in [0, hallway_width]``; rooms sit above and below
+    it, each with one door to the hallway.  Matches the paper's synthetic
+    floor plan ("rooms that are all connected by doors to a hallway").
+    """
+    if rooms_per_side < 1:
+        raise ValueError("rooms_per_side must be positive")
+    length = rooms_per_side * room_width
+    rooms = [
+        Room(
+            room_id="H",
+            polygon=Polygon.rectangle(0.0, 0.0, length, hallway_width),
+            kind="hallway",
+            name="hallway",
+        )
+    ]
+    doors = []
+    for i in range(rooms_per_side):
+        x0 = i * room_width
+        x1 = x0 + room_width
+        top_id = f"R{i}T"
+        rooms.append(
+            Room(
+                room_id=top_id,
+                polygon=Polygon.rectangle(
+                    x0, hallway_width, x1, hallway_width + room_depth
+                ),
+                name=f"room {i} (north)",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=f"D-{top_id}",
+                position=Point(x0 + room_width / 2.0, hallway_width),
+                room_a=top_id,
+                room_b="H",
+            )
+        )
+        bottom_id = f"R{i}B"
+        rooms.append(
+            Room(
+                room_id=bottom_id,
+                polygon=Polygon.rectangle(x0, -room_depth, x1, 0.0),
+                name=f"room {i} (south)",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=f"D-{bottom_id}",
+                position=Point(x0 + _BOTTOM_DOOR_OFFSET, 0.0),
+                room_a=bottom_id,
+                room_b="H",
+            )
+        )
+    return FloorPlan(rooms, doors)
+
+
+def deploy_office_devices(
+    plan: FloorPlan,
+    detection_range: float = 1.5,
+    hallway_spacing: float = 12.0,
+) -> Deployment:
+    """RFID readers by every door and along the hallway.
+
+    ``detection_range`` is the radius of each reader's detection circle
+    (the paper varies it from 1 m to 2.5 m).  Hallway readers are placed on
+    the hallway centerline every ``hallway_spacing`` meters, offset to stay
+    clear of the door readers.
+    """
+    if detection_range <= 0:
+        raise ValueError("detection_range must be positive")
+    candidates = [
+        Device.at(f"dev-{door.door_id}", door.position, detection_range)
+        for door in plan.doors
+    ]
+    hallway = plan.room("H").polygon.mbr
+    center_y = (hallway.min_y + hallway.max_y) / 2.0
+    x = hallway.min_x + _HALLWAY_DEVICE_OFFSET
+    index = 0
+    while x < hallway.max_x:
+        candidates.append(
+            Device.at(f"dev-H{index}", Point(x, center_y), detection_range)
+        )
+        index += 1
+        x += hallway_spacing
+    deployment = Deployment(thin_non_overlapping(candidates))
+    deployment.validate_non_overlapping()
+    return deployment
+
+
+# ----------------------------------------------------------------------
+# Airport pier (CPH substitute)
+# ----------------------------------------------------------------------
+
+_GATE_SHOP_WIDTH = 15.0
+_GATE_SHOP_DEPTH = 12.0
+_CORRIDOR_WIDTH = 8.0
+_SECURITY_WIDTH = 12.0
+_HALL_WIDTH = 40.0
+
+
+def airport_pier(num_shops: int = 10, num_gates: int = 10) -> FloorPlan:
+    """A linear airport pier: hall -> security -> corridor of shops/gates.
+
+    Shops line the north side of the corridor, gates the south side; both
+    are rooms with a single door to the corridor.  This stands in for the
+    Copenhagen Airport deployment of the paper's real data set.
+    """
+    if num_shops < 1 or num_gates < 1:
+        raise ValueError("need at least one shop and one gate")
+    corridor_len = max(num_shops, num_gates) * _GATE_SHOP_WIDTH
+    corridor_y0 = 8.0
+    corridor_y1 = corridor_y0 + _CORRIDOR_WIDTH
+    hall_height = 24.0
+    rooms = [
+        Room(
+            room_id="hall",
+            polygon=Polygon.rectangle(
+                -_HALL_WIDTH - _SECURITY_WIDTH, 0.0, -_SECURITY_WIDTH, hall_height
+            ),
+            kind="hall",
+            name="check-in hall",
+        ),
+        Room(
+            room_id="security",
+            polygon=Polygon.rectangle(-_SECURITY_WIDTH, 0.0, 0.0, hall_height),
+            kind="security",
+            name="security",
+        ),
+        Room(
+            room_id="corridor",
+            polygon=Polygon.rectangle(0.0, corridor_y0, corridor_len, corridor_y1),
+            kind="hallway",
+            name="pier corridor",
+        ),
+    ]
+    doors = [
+        Door(
+            door_id="D-hall-security",
+            position=Point(-_SECURITY_WIDTH, hall_height / 2.0),
+            room_a="hall",
+            room_b="security",
+        ),
+        Door(
+            door_id="D-security-corridor",
+            position=Point(0.0, (corridor_y0 + corridor_y1) / 2.0),
+            room_a="security",
+            room_b="corridor",
+        ),
+    ]
+    for i in range(num_shops):
+        x0 = i * _GATE_SHOP_WIDTH
+        shop_id = f"shop{i}"
+        rooms.append(
+            Room(
+                room_id=shop_id,
+                polygon=Polygon.rectangle(
+                    x0, corridor_y1, x0 + _GATE_SHOP_WIDTH, corridor_y1 + _GATE_SHOP_DEPTH
+                ),
+                kind="shop",
+                name=f"shop {i}",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=f"D-{shop_id}",
+                position=Point(x0 + _GATE_SHOP_WIDTH / 2.0, corridor_y1),
+                room_a=shop_id,
+                room_b="corridor",
+            )
+        )
+    for i in range(num_gates):
+        x0 = i * _GATE_SHOP_WIDTH
+        gate_id = f"gate{i}"
+        rooms.append(
+            Room(
+                room_id=gate_id,
+                polygon=Polygon.rectangle(
+                    x0, corridor_y0 - _GATE_SHOP_DEPTH, x0 + _GATE_SHOP_WIDTH, corridor_y0
+                ),
+                kind="gate",
+                name=f"gate {i}",
+            )
+        )
+        doors.append(
+            Door(
+                door_id=f"D-{gate_id}",
+                position=Point(x0 + _GATE_SHOP_WIDTH / 2.0 + 3.0, corridor_y0),
+                room_a=gate_id,
+                room_b="corridor",
+            )
+        )
+    return FloorPlan(rooms, doors)
+
+
+def deploy_airport_devices(
+    plan: FloorPlan,
+    detection_range: float = 6.0,
+    corridor_spacing: float = 45.0,
+) -> Deployment:
+    """Sparse Bluetooth radios: security, corridor, and some shop/gate doors.
+
+    Candidates are placed generously and thinned to a non-overlapping
+    subset, mirroring the partial coverage of the real CPH deployment.
+    """
+    if detection_range <= 0:
+        raise ValueError("detection_range must be positive")
+    candidates = [
+        Device.at(
+            "bt-security",
+            plan.door("D-security-corridor").position,
+            detection_range,
+            kind="bluetooth",
+        ),
+        Device.at(
+            "bt-hall",
+            plan.door("D-hall-security").position,
+            detection_range,
+            kind="bluetooth",
+        ),
+    ]
+    corridor = plan.room("corridor").polygon.mbr
+    center_y = (corridor.min_y + corridor.max_y) / 2.0
+    x = corridor.min_x + corridor_spacing / 2.0
+    index = 0
+    while x < corridor.max_x:
+        candidates.append(
+            Device.at(
+                f"bt-C{index}", Point(x, center_y), detection_range, kind="bluetooth"
+            )
+        )
+        index += 1
+        x += corridor_spacing
+    for door in plan.doors:
+        if door.door_id.startswith(("D-shop", "D-gate")):
+            candidates.append(
+                Device.at(
+                    f"bt-{door.door_id}",
+                    door.position,
+                    detection_range,
+                    kind="bluetooth",
+                )
+            )
+    deployment = Deployment(thin_non_overlapping(candidates))
+    deployment.validate_non_overlapping()
+    return deployment
+
+
+# ----------------------------------------------------------------------
+# POIs
+# ----------------------------------------------------------------------
+
+
+def partition_rooms_into_pois(
+    plan: FloorPlan,
+    count: int = 75,
+    seed: int = 7,
+    margin: float = 0.5,
+    kinds: tuple[str, ...] = ("room", "shop", "gate", "hall"),
+) -> list[Poi]:
+    """Carve ``count`` POIs out of the plan's rooms.
+
+    Mirrors the paper's query POI setup: "75 POIs ... at distinctive
+    locations and with different areas.  Multiple POIs may come from the
+    same large room that is divided into multiple uses" (Section 5.1).
+    Each room of an eligible kind is split into one to three sub-rectangles
+    (inset by ``margin`` so POIs lie strictly inside the room); rooms are
+    revisited until ``count`` POIs exist.  Deterministic for a given seed.
+    """
+    if count < 1:
+        raise ValueError("count must be positive")
+    rng = random.Random(seed)
+    eligible = [room for room in plan.rooms if room.kind in kinds]
+    if not eligible:
+        raise ValueError("no rooms of the requested kinds to carve POIs from")
+    pois: list[Poi] = []
+    per_room_counts: dict[str, int] = {}
+    room_cycle = 0
+    while len(pois) < count:
+        room = eligible[room_cycle % len(eligible)]
+        room_cycle += 1
+        box = room.polygon.mbr
+        min_x, min_y = box.min_x + margin, box.min_y + margin
+        max_x, max_y = box.max_x - margin, box.max_y - margin
+        if max_x - min_x < 1.0 or max_y - min_y < 1.0:
+            continue
+        pieces = rng.choice((1, 2, 2, 3))
+        # Split along the longer axis into `pieces` strips of random widths.
+        horizontal = (max_x - min_x) >= (max_y - min_y)
+        cuts = sorted(rng.uniform(0.25, 0.75) for _ in range(pieces - 1))
+        fractions = [0.0, *cuts, 1.0]
+        for j in range(pieces):
+            if len(pois) >= count:
+                break
+            f0, f1 = fractions[j], fractions[j + 1]
+            if horizontal:
+                polygon = Polygon.rectangle(
+                    min_x + f0 * (max_x - min_x),
+                    min_y,
+                    min_x + f1 * (max_x - min_x),
+                    max_y,
+                )
+            else:
+                polygon = Polygon.rectangle(
+                    min_x,
+                    min_y + f0 * (max_y - min_y),
+                    max_x,
+                    min_y + f1 * (max_y - min_y),
+                )
+            poi_id = f"poi-{len(pois)}"
+            serial = per_room_counts.get(room.room_id, 0)
+            per_room_counts[room.room_id] = serial + 1
+            pois.append(
+                Poi(
+                    poi_id=poi_id,
+                    polygon=polygon,
+                    room_id=room.room_id,
+                    name=f"{room.name or room.room_id} / {serial}",
+                    category=room.kind,
+                )
+            )
+    return pois

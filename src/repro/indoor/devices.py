@@ -1,0 +1,121 @@
+"""Proximity detection devices and their deployment.
+
+A symbolic indoor positioning system deploys a limited number of proximity
+detection devices (RFID readers, Bluetooth radios) at pre-selected
+locations; each device detects an object exactly when the object is within
+the device's circular detection range (paper, Section 1).  The paper's
+uncertainty analysis assumes the ranges do not overlap (Section 3.4,
+Remark); :meth:`Deployment.validate_non_overlapping` enforces it and
+:func:`thin_non_overlapping` greedily repairs a candidate placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+from ..geometry import Circle, Mbr, Point
+from ..index import RTree
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
+    # repro.tracking's detection model consumes this module)
+    from ..tracking.records import DeviceId
+
+__all__ = ["Device", "Deployment", "thin_non_overlapping"]
+
+
+@dataclass(frozen=True)
+class Device:
+    """A proximity detection device with a circular detection range."""
+
+    device_id: DeviceId
+    range: Circle
+    kind: str = "rfid"
+
+    @property
+    def center(self) -> Point:
+        return self.range.center
+
+    @property
+    def radius(self) -> float:
+        return self.range.radius
+
+    @classmethod
+    def at(
+        cls, device_id: DeviceId, center: Point, radius: float, kind: str = "rfid"
+    ) -> "Device":
+        return cls(device_id=device_id, range=Circle(center, radius), kind=kind)
+
+
+class Deployment:
+    """An immutable set of devices with id and spatial lookups."""
+
+    def __init__(self, devices: Iterable[Device]):
+        self._devices: dict[DeviceId, Device] = {}
+        for device in devices:
+            if device.device_id in self._devices:
+                raise ValueError(f"duplicate device id {device.device_id!r}")
+            self._devices[device.device_id] = device
+        self._index = RTree.bulk_load(
+            [(device.range.mbr, device) for device in self._devices.values()]
+        )
+
+    def __len__(self) -> int:
+        return len(self._devices)
+
+    def __iter__(self) -> Iterator[Device]:
+        return iter(self._devices.values())
+
+    def __contains__(self, device_id: DeviceId) -> bool:
+        return device_id in self._devices
+
+    def device(self, device_id: DeviceId) -> Device:
+        return self._devices[device_id]
+
+    @property
+    def max_radius(self) -> float:
+        """The largest detection radius in the deployment (0 when empty)."""
+        if not self._devices:
+            return 0.0
+        return max(device.radius for device in self._devices.values())
+
+    def devices_near(self, mbr: Mbr) -> list[Device]:
+        """Devices whose detection-range MBR intersects ``mbr``."""
+        return self._index.search(mbr)
+
+    def devices_covering(self, point: Point) -> list[Device]:
+        """Devices whose detection range contains ``point``."""
+        probe = Mbr.around(point, 0.0, 0.0)
+        return [
+            device
+            for device in self._index.search(probe)
+            if device.range.contains(point)
+        ]
+
+    def validate_non_overlapping(self) -> None:
+        """Raise ``ValueError`` if any two detection ranges overlap."""
+        devices = list(self._devices.values())
+        for device in devices:
+            for other in self._index.search(device.range.mbr):
+                if other.device_id == device.device_id:
+                    continue
+                if device.range.intersects_circle(other.range):
+                    raise ValueError(
+                        f"detection ranges of {device.device_id!r} and "
+                        f"{other.device_id!r} overlap"
+                    )
+
+
+def thin_non_overlapping(devices: Sequence[Device]) -> list[Device]:
+    """Greedily keep a prefix-stable subset with non-overlapping ranges.
+
+    Devices are considered in the given order; a device is kept unless its
+    range overlaps an already-kept one.  Deterministic, so builders can
+    place candidate devices generously (at every door, along hallways) and
+    rely on this to honour the paper's non-overlap assumption.
+    """
+    kept: list[Device] = []
+    for device in devices:
+        if all(not device.range.intersects_circle(k.range) for k in kept):
+            kept.append(device)
+    return kept

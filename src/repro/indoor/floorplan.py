@@ -1,0 +1,178 @@
+"""Floor plans: rooms, hallways and the doors connecting them.
+
+Indoor spaces are characterised by entities like doors, rooms and hallways
+that enable and constrain movement (paper, Section 1).  A
+:class:`FloorPlan` is the static description of one building floor:
+
+* **rooms** — convex polygons (rectangles in the built-in builders), each
+  tagged with a kind (room / hallway / ...);
+* **doors** — points on the shared boundary of exactly two rooms; all
+  movement between rooms passes through doors.
+
+Convex rooms make intra-room shortest paths straight lines, which the
+indoor distance oracle and the movement simulator rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from ..geometry import Mbr, Point, Polygon
+from ..index import RTree
+
+__all__ = ["Room", "Door", "FloorPlan"]
+
+
+@dataclass(frozen=True)
+class Room:
+    """A convex walkable cell of the floor plan.
+
+    ``level`` identifies the storey in multi-floor buildings (see
+    :mod:`repro.indoor.multifloor`); single-floor plans leave it at 0.
+    """
+
+    room_id: str
+    polygon: Polygon
+    kind: str = "room"
+    name: str = ""
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.polygon.is_convex():
+            raise ValueError(
+                f"room {self.room_id!r}: non-convex rooms are not supported"
+            )
+
+
+@dataclass(frozen=True)
+class Door:
+    """A doorway connecting exactly two rooms, modelled as a point."""
+
+    door_id: str
+    position: Point
+    room_a: str
+    room_b: str
+
+    def __post_init__(self) -> None:
+        if self.room_a == self.room_b:
+            raise ValueError(f"door {self.door_id!r} connects a room to itself")
+
+    def connects(self, room_id: str) -> bool:
+        return room_id in (self.room_a, self.room_b)
+
+    def other_room(self, room_id: str) -> str:
+        if room_id == self.room_a:
+            return self.room_b
+        if room_id == self.room_b:
+            return self.room_a
+        raise KeyError(f"door {self.door_id!r} does not touch room {room_id!r}")
+
+
+class FloorPlan:
+    """An immutable collection of rooms and doors with spatial lookups."""
+
+    #: Tolerance for "the door lies on the room boundary" validation and for
+    #: boundary-inclusive room membership (meters).
+    BOUNDARY_TOLERANCE = 1e-6
+
+    def __init__(self, rooms: Iterable[Room], doors: Iterable[Door]):
+        self._rooms: dict[str, Room] = {}
+        for room in rooms:
+            if room.room_id in self._rooms:
+                raise ValueError(f"duplicate room id {room.room_id!r}")
+            self._rooms[room.room_id] = room
+        self._doors: dict[str, Door] = {}
+        self._doors_by_room: dict[str, list[Door]] = {
+            room_id: [] for room_id in self._rooms
+        }
+        for door in doors:
+            if door.door_id in self._doors:
+                raise ValueError(f"duplicate door id {door.door_id!r}")
+            self._validate_door(door)
+            self._doors[door.door_id] = door
+            self._doors_by_room[door.room_a].append(door)
+            self._doors_by_room[door.room_b].append(door)
+        if not self._rooms:
+            raise ValueError("a floor plan needs at least one room")
+        self._room_index = RTree.bulk_load(
+            [(room.polygon.mbr, room) for room in self._rooms.values()]
+        )
+        self._bounds = Mbr.union_all(
+            room.polygon.mbr for room in self._rooms.values()
+        )
+
+    def _validate_door(self, door: Door) -> None:
+        for room_id in (door.room_a, door.room_b):
+            room = self._rooms.get(room_id)
+            if room is None:
+                raise ValueError(
+                    f"door {door.door_id!r} references unknown room {room_id!r}"
+                )
+            on_boundary = any(
+                edge.distance_to_point(door.position) <= self.BOUNDARY_TOLERANCE
+                for edge in room.polygon.edges()
+            )
+            if not on_boundary:
+                raise ValueError(
+                    f"door {door.door_id!r} does not lie on the boundary of "
+                    f"room {room_id!r}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def bounds(self) -> Mbr:
+        return self._bounds
+
+    @property
+    def rooms(self) -> list[Room]:
+        return list(self._rooms.values())
+
+    @property
+    def doors(self) -> list[Door]:
+        return list(self._doors.values())
+
+    def room(self, room_id: str) -> Room:
+        return self._rooms[room_id]
+
+    def door(self, door_id: str) -> Door:
+        return self._doors[door_id]
+
+    def doors_of_room(self, room_id: str) -> list[Door]:
+        return list(self._doors_by_room[room_id])
+
+    def __contains__(self, room_id: str) -> bool:
+        return room_id in self._rooms
+
+    def iter_rooms(self, kind: str | None = None) -> Iterator[Room]:
+        for room in self._rooms.values():
+            if kind is None or room.kind == kind:
+                yield room
+
+    # ------------------------------------------------------------------
+    # Spatial lookups
+    # ------------------------------------------------------------------
+
+    def rooms_at(self, point: Point) -> list[Room]:
+        """All rooms containing ``point`` (boundary points match several)."""
+        probe = Mbr.around(point, self.BOUNDARY_TOLERANCE)
+        return [
+            room
+            for room in self._room_index.search(probe)
+            if room.polygon.contains(point)
+        ]
+
+    def room_at(self, point: Point) -> Room | None:
+        """Some room containing ``point``, or ``None`` if outside the plan."""
+        rooms = self.rooms_at(point)
+        return rooms[0] if rooms else None
+
+    def contains_point(self, point: Point) -> bool:
+        return self.room_at(point) is not None
+
+    def rooms_intersecting(self, mbr: Mbr) -> list[Room]:
+        """Rooms whose bounding box intersects ``mbr`` (candidate set)."""
+        return self._room_index.search(mbr)

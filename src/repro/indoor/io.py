@@ -1,0 +1,164 @@
+"""Reading and writing indoor-space descriptions as JSON.
+
+Floor plans, device deployments and POI sets are static configuration; a
+deployment team maintains them as files.  The JSON schema is plain and
+versioned::
+
+    {
+      "schema": "repro-indoor/1",
+      "rooms":   [{"room_id", "kind", "name", "vertices": [[x, y], ...]}],
+      "doors":   [{"door_id", "position": [x, y], "room_a", "room_b"}],
+      "devices": [{"device_id", "center": [x, y], "radius", "kind"}],
+      "pois":    [{"poi_id", "room_id", "name", "category",
+                   "vertices": [[x, y], ...]}]
+    }
+
+Any of the sections may be omitted when only part of the model is stored.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..geometry import Point, Polygon
+from .devices import Deployment, Device
+from .floorplan import Door, FloorPlan, Room
+from .poi import Poi
+
+__all__ = [
+    "SCHEMA",
+    "indoor_model_to_dict",
+    "indoor_model_from_dict",
+    "save_indoor_model",
+    "load_indoor_model",
+]
+
+SCHEMA = "repro-indoor/1"
+
+
+def indoor_model_to_dict(
+    floorplan: FloorPlan | None = None,
+    deployment: Deployment | None = None,
+    pois: list[Poi] | None = None,
+) -> dict[str, Any]:
+    """Serialise any subset of the indoor model to a JSON-ready dict."""
+    payload: dict[str, Any] = {"schema": SCHEMA}
+    if floorplan is not None:
+        payload["rooms"] = [
+            {
+                "room_id": room.room_id,
+                "kind": room.kind,
+                "name": room.name,
+                "vertices": [[v.x, v.y] for v in room.polygon.vertices],
+            }
+            for room in floorplan.rooms
+        ]
+        payload["doors"] = [
+            {
+                "door_id": door.door_id,
+                "position": [door.position.x, door.position.y],
+                "room_a": door.room_a,
+                "room_b": door.room_b,
+            }
+            for door in floorplan.doors
+        ]
+    if deployment is not None:
+        payload["devices"] = [
+            {
+                "device_id": device.device_id,
+                "center": [device.center.x, device.center.y],
+                "radius": device.radius,
+                "kind": device.kind,
+            }
+            for device in deployment
+        ]
+    if pois is not None:
+        payload["pois"] = [
+            {
+                "poi_id": poi.poi_id,
+                "room_id": poi.room_id,
+                "name": poi.name,
+                "category": poi.category,
+                "vertices": [[v.x, v.y] for v in poi.polygon.vertices],
+            }
+            for poi in pois
+        ]
+    return payload
+
+
+def indoor_model_from_dict(
+    payload: dict[str, Any],
+) -> tuple[FloorPlan | None, Deployment | None, list[Poi] | None]:
+    """Inverse of :func:`indoor_model_to_dict`; validates the schema tag."""
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(f"unsupported indoor model schema {schema!r}")
+    floorplan = None
+    if "rooms" in payload:
+        rooms = [
+            Room(
+                room_id=entry["room_id"],
+                polygon=Polygon([Point(x, y) for x, y in entry["vertices"]]),
+                kind=entry.get("kind", "room"),
+                name=entry.get("name", ""),
+            )
+            for entry in payload["rooms"]
+        ]
+        doors = [
+            Door(
+                door_id=entry["door_id"],
+                position=Point(*entry["position"]),
+                room_a=entry["room_a"],
+                room_b=entry["room_b"],
+            )
+            for entry in payload.get("doors", ())
+        ]
+        floorplan = FloorPlan(rooms, doors)
+    deployment = None
+    if "devices" in payload:
+        deployment = Deployment(
+            Device.at(
+                entry["device_id"],
+                Point(*entry["center"]),
+                entry["radius"],
+                kind=entry.get("kind", "rfid"),
+            )
+            for entry in payload["devices"]
+        )
+    pois = None
+    if "pois" in payload:
+        pois = [
+            Poi(
+                poi_id=entry["poi_id"],
+                polygon=Polygon([Point(x, y) for x, y in entry["vertices"]]),
+                room_id=entry["room_id"],
+                name=entry.get("name", ""),
+                category=entry.get("category", ""),
+            )
+            for entry in payload["pois"]
+        ]
+    return floorplan, deployment, pois
+
+
+def save_indoor_model(
+    path: str | Path,
+    floorplan: FloorPlan | None = None,
+    deployment: Deployment | None = None,
+    pois: list[Poi] | None = None,
+) -> None:
+    """Write the model as pretty-printed JSON."""
+    payload = indoor_model_to_dict(floorplan, deployment, pois)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_indoor_model(
+    path: str | Path,
+) -> tuple[FloorPlan | None, Deployment | None, list[Poi] | None]:
+    """Load a model written by :func:`save_indoor_model`."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    return indoor_model_from_dict(payload)

@@ -1,0 +1,227 @@
+"""Multi-floor buildings (extension of the paper's single-floor setting).
+
+The paper notes that its uncertainty analysis and query processing "can be
+extended to multi-floor cases" (Section 4.1).  This module realises that
+extension by *embedding* the storeys of a building as disjoint bands of one
+shared plane, connected by explicit **stairwell rooms** whose corridor
+length equals the stair's walking length:
+
+* every existing mechanism — detection, merging, rings, extended ellipses,
+  the topology check, both query algorithms, the 2D indexes — applies
+  unchanged, because the embedded plane *is* the world objects move in;
+* soundness is preserved: the straight-line (embedded Euclidean) distance
+  between any two points lower-bounds the walking distance through rooms
+  and stairwells, exactly the relationship the maximum-speed analysis
+  needs; and
+* the indoor distance oracle automatically accounts for stairs, so the
+  topology check prunes "the object cannot have reached the other floor in
+  time" cases for free.
+
+The deliberate approximation versus a true 3D treatment: cross-floor
+*Euclidean* proximity (through the ceiling) does not exist in the
+embedding, so uncertainty regions never leak through floors — they can
+only reach another storey via a stairwell, which is also how objects move.
+
+Use :func:`multi_storey_office` for a ready-made building, or
+:func:`stack_floorplans` to combine arbitrary per-floor plans.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..geometry import Point, Polygon
+from .builders import ROOM_WIDTH, deploy_office_devices, office_building
+from .devices import Deployment, Device, thin_non_overlapping
+from .floorplan import Door, FloorPlan, Room
+
+__all__ = [
+    "translate_floorplan",
+    "stack_floorplans",
+    "multi_storey_office",
+    "deploy_multi_storey_devices",
+]
+
+#: Corridor width of generated stairwell rooms (meters).
+STAIRWELL_WIDTH = 3.0
+
+
+def translate_floorplan(
+    plan: FloorPlan, dx: float, dy: float, prefix: str = "", level: int = 0
+) -> tuple[list[Room], list[Door]]:
+    """The plan's rooms/doors translated, renamed and assigned to ``level``.
+
+    Returns raw parts (not a FloorPlan) so callers can keep composing.
+    """
+    rooms = [
+        Room(
+            room_id=f"{prefix}{room.room_id}",
+            polygon=room.polygon.translated(dx, dy),
+            kind=room.kind,
+            name=f"{prefix}{room.name or room.room_id}",
+            level=level,
+        )
+        for room in plan.rooms
+    ]
+    doors = [
+        Door(
+            door_id=f"{prefix}{door.door_id}",
+            position=Point(door.position.x + dx, door.position.y + dy),
+            room_a=f"{prefix}{door.room_a}",
+            room_b=f"{prefix}{door.room_b}",
+        )
+        for door in plan.doors
+    ]
+    return rooms, doors
+
+
+def stack_floorplans(
+    floors: list[FloorPlan],
+    stair_positions: list[float],
+    stair_length: float = 12.0,
+    gap: float | None = None,
+) -> FloorPlan:
+    """Stack per-floor plans into one building with stairwells.
+
+    Floor ``k`` is translated upward into its own band of the plane and
+    renamed with the prefix ``F{k}:``.  Between consecutive floors,
+    vertical stairwell corridors of walking length ``stair_length`` are
+    created at each x-position in ``stair_positions``; a stairwell's lower
+    door opens into the room below it on floor ``k``, its upper door into
+    the room above it on floor ``k+1``.
+
+    The per-floor plans must place walkable rooms at the stair positions on
+    their outermost y-extent (true for :func:`office_building`, whose
+    hallway spans the full length — stairs attach to the top rooms / the
+    band boundaries).
+    """
+    if len(floors) < 1:
+        raise ValueError("need at least one floor")
+    if len(floors) > 1 and not stair_positions:
+        raise ValueError("multi-floor buildings need at least one stair position")
+    if gap is None:
+        gap = stair_length
+    if gap < stair_length:
+        raise ValueError(
+            "the inter-floor gap cannot be shorter than the stair length"
+        )
+
+    rooms: list[Room] = []
+    doors: list[Door] = []
+    offsets: list[float] = []
+    cursor = 0.0
+    for index, floor in enumerate(floors):
+        bounds = floor.bounds
+        dy = cursor - bounds.min_y
+        offsets.append(dy)
+        floor_rooms, floor_doors = translate_floorplan(
+            floor, 0.0, dy, prefix=f"F{index}:", level=index
+        )
+        rooms.extend(floor_rooms)
+        doors.extend(floor_doors)
+        cursor += bounds.height + gap
+
+    rooms_by_id = {room.room_id: room for room in rooms}
+
+    def room_at_edge(level: int, x: float, top: bool) -> Room:
+        """The level's room touching its band edge at x-position ``x``."""
+        bounds = floors[level].bounds
+        edge_y = (bounds.max_y if top else bounds.min_y) + offsets[level]
+        probe = Point(x, edge_y)
+        candidates = [
+            room
+            for room in rooms
+            if room.level == level
+            and room.kind != "stairwell"
+            and room.polygon.contains(probe)
+        ]
+        if not candidates:
+            raise ValueError(
+                f"no room on floor {level} touches the band edge at x={x}; "
+                "pick stair positions over walkable space"
+            )
+        return candidates[0]
+
+    for level in range(len(floors) - 1):
+        lower_bounds = floors[level].bounds
+        upper_bounds = floors[level + 1].bounds
+        y_from = lower_bounds.max_y + offsets[level]
+        y_to = upper_bounds.min_y + offsets[level + 1]
+        for stair_index, x in enumerate(stair_positions):
+            stair_id = f"S{level}-{level + 1}-{stair_index}"
+            stairwell = Room(
+                room_id=stair_id,
+                polygon=Polygon.rectangle(
+                    x - STAIRWELL_WIDTH / 2.0, y_from, x + STAIRWELL_WIDTH / 2.0, y_to
+                ),
+                kind="stairwell",
+                name=f"stairs {level}->{level + 1} #{stair_index}",
+                level=level,
+            )
+            rooms.append(stairwell)
+            doors.append(
+                Door(
+                    door_id=f"D-{stair_id}-low",
+                    position=Point(x, y_from),
+                    room_a=stair_id,
+                    room_b=room_at_edge(level, x, top=True).room_id,
+                )
+            )
+            doors.append(
+                Door(
+                    door_id=f"D-{stair_id}-high",
+                    position=Point(x, y_to),
+                    room_a=stair_id,
+                    room_b=room_at_edge(level + 1, x, top=False).room_id,
+                )
+            )
+    return FloorPlan(rooms, doors)
+
+
+def multi_storey_office(
+    levels: int = 2,
+    rooms_per_side: int = 8,
+    stair_count: int = 2,
+    stair_length: float = 12.0,
+) -> FloorPlan:
+    """A ready-made multi-storey office building.
+
+    Each storey is :func:`~repro.indoor.builders.office_building`;
+    stairwells attach to north-side rooms spread along the building.
+    """
+    if levels < 1:
+        raise ValueError("levels must be positive")
+    if levels > 1 and stair_count < 1:
+        raise ValueError("multi-storey buildings need at least one staircase")
+    floors = [office_building(rooms_per_side=rooms_per_side) for _ in range(levels)]
+    length = rooms_per_side * ROOM_WIDTH
+    # Stair x-positions centred in distinct north rooms, spread evenly.
+    positions = [
+        length * (slot + 0.5) / stair_count for slot in range(stair_count)
+    ]
+    # Snap each position to the centre of its containing room column, so
+    # the stairwell lands inside one room.
+    positions = [
+        (int(x / ROOM_WIDTH) + 0.5) * ROOM_WIDTH for x in positions
+    ]
+    return stack_floorplans(floors, positions, stair_length=stair_length)
+
+
+def deploy_multi_storey_devices(
+    building: FloorPlan,
+    detection_range: float = 1.5,
+) -> Deployment:
+    """Readers at every door of the building, including stairwell doors.
+
+    Hallway readers are omitted (door coverage dominates in multi-storey
+    layouts); the candidate set is thinned to honour non-overlap.
+    """
+    if detection_range <= 0:
+        raise ValueError("detection_range must be positive")
+    candidates = [
+        Device.at(f"dev-{door.door_id}", door.position, detection_range)
+        for door in building.doors
+    ]
+    deployment = Deployment(thin_non_overlapping(candidates))
+    deployment.validate_non_overlapping()
+    return deployment

@@ -1,0 +1,37 @@
+"""Indoor Points of Interest (POIs).
+
+Each indoor POI has a fixed extent modelled by a polygon (paper, Section
+2.2); multiple POIs may come from the same large room that is divided into
+multiple uses (paper, Section 5.1).  POIs are the subjects of the top-k
+queries: flows are computed per POI and POIs are ranked by flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..geometry import Polygon
+from ..index import RTree
+
+__all__ = ["Poi", "build_poi_index"]
+
+
+@dataclass(frozen=True)
+class Poi:
+    """A Point of Interest with a polygonal extent inside one room."""
+
+    poi_id: str
+    polygon: Polygon
+    room_id: str
+    name: str = ""
+    category: str = ""
+
+    def area(self) -> float:
+        return self.polygon.area()
+
+
+def build_poi_index(pois: list[Poi], max_entries: int = 8) -> RTree:
+    """The POI R-tree ``R_P`` of the paper (Section 4.1), bulk-loaded."""
+    return RTree.bulk_load(
+        [(poi.polygon.mbr, poi) for poi in pois], max_entries=max_entries
+    )

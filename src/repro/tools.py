@@ -1,0 +1,206 @@
+"""``python -m repro.tools`` — the command-line front end.
+
+Three subcommands cover the bring-your-own-data workflow end to end:
+
+``generate``
+    Produce a synthetic or simulated-CPH data set and write it to a
+    directory as portable files: ``model.json`` (floor plan + devices +
+    POIs) and ``ott.csv`` (tracking records).
+
+``query``
+    Run a snapshot or interval top-k query against such a directory and
+    print the ranked POIs.
+
+``info``
+    Summarise a data set directory (records, objects, span, devices).
+
+Examples::
+
+    python -m repro.tools generate --kind synthetic --objects 100 --out data/
+    python -m repro.tools info data/
+    python -m repro.tools query data/ --snapshot 1800 --k 5
+    python -m repro.tools query data/ --interval 1200 1800 --k 10 --method iterative
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core.engine import FlowEngine
+from .datagen import (
+    CphConfig,
+    SyntheticConfig,
+    build_cph_dataset,
+    build_synthetic_dataset,
+)
+from .indoor.io import load_indoor_model, save_indoor_model
+from .tracking.io import load_ott_csv, save_ott_csv
+
+__all__ = ["main", "build_parser"]
+
+MODEL_FILE = "model.json"
+OTT_FILE = "ott.csv"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.tools",
+        description="Generate, inspect and query indoor tracking data sets.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser(
+        "generate", help="generate a data set directory"
+    )
+    generate.add_argument(
+        "--kind", choices=("synthetic", "cph"), default="synthetic"
+    )
+    generate.add_argument("--objects", type=int, default=100)
+    generate.add_argument(
+        "--minutes", type=float, default=30.0, help="simulated duration"
+    )
+    generate.add_argument("--detection-range", type=float, default=None)
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--out", required=True, help="output directory")
+
+    info = commands.add_parser("info", help="summarise a data set directory")
+    info.add_argument("directory")
+
+    query = commands.add_parser("query", help="run a top-k query")
+    query.add_argument("directory")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--snapshot", type=float, metavar="T", help="snapshot query at time T"
+    )
+    group.add_argument(
+        "--interval",
+        type=float,
+        nargs=2,
+        metavar=("T_START", "T_END"),
+        help="interval query over [T_START, T_END]",
+    )
+    query.add_argument("--k", type=int, default=10)
+    query.add_argument("--method", choices=("join", "iterative"), default="join")
+    query.add_argument(
+        "--v-max", type=float, default=1.1, help="maximum speed (m/s)"
+    )
+    query.add_argument(
+        "--no-topology-check",
+        action="store_true",
+        help="skip the indoor topology check",
+    )
+    return parser
+
+
+def _cmd_generate(args) -> int:
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    if args.kind == "synthetic":
+        config = SyntheticConfig(
+            num_objects=args.objects,
+            duration=args.minutes * 60.0,
+            seed=args.seed,
+            **(
+                {"detection_range": args.detection_range}
+                if args.detection_range is not None
+                else {}
+            ),
+        )
+        dataset = build_synthetic_dataset(config)
+    else:
+        config = CphConfig(
+            num_passengers=args.objects,
+            horizon=args.minutes * 60.0,
+            seed=args.seed,
+            **(
+                {"detection_range": args.detection_range}
+                if args.detection_range is not None
+                else {}
+            ),
+        )
+        dataset = build_cph_dataset(config)
+    save_indoor_model(
+        out / MODEL_FILE, dataset.floorplan, dataset.deployment, dataset.pois
+    )
+    rows = save_ott_csv(dataset.ott, out / OTT_FILE)
+    start, end = dataset.time_span()
+    print(
+        f"wrote {out / MODEL_FILE} and {out / OTT_FILE}: "
+        f"{rows} records, {dataset.ott.object_count} objects, "
+        f"span [{start:.0f}, {end:.0f}] s"
+    )
+    return 0
+
+
+def _load_directory(directory: str):
+    base = Path(directory)
+    model_path = base / MODEL_FILE
+    ott_path = base / OTT_FILE
+    if not model_path.exists() or not ott_path.exists():
+        raise FileNotFoundError(
+            f"{base} must contain {MODEL_FILE} and {OTT_FILE} "
+            "(see `python -m repro.tools generate`)"
+        )
+    floorplan, deployment, pois = load_indoor_model(model_path)
+    if floorplan is None or deployment is None or not pois:
+        raise ValueError(f"{model_path} must contain rooms, devices and POIs")
+    return floorplan, deployment, pois, load_ott_csv(ott_path)
+
+
+def _cmd_info(args) -> int:
+    floorplan, deployment, pois, ott = _load_directory(args.directory)
+    start, end = ott.time_span()
+    print(f"rooms:       {len(floorplan.rooms)}")
+    print(f"doors:       {len(floorplan.doors)}")
+    print(f"devices:     {len(deployment)}")
+    print(f"POIs:        {len(pois)}")
+    print(f"records:     {len(ott)}")
+    print(f"objects:     {ott.object_count}")
+    print(f"time span:   [{start:.1f}, {end:.1f}] s ({(end - start) / 60:.1f} min)")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    floorplan, deployment, pois, ott = _load_directory(args.directory)
+    engine = FlowEngine(
+        floorplan,
+        deployment,
+        ott,
+        pois,
+        v_max=args.v_max,
+        topology_check=not args.no_topology_check,
+    )
+    if args.snapshot is not None:
+        result = engine.snapshot_topk(args.snapshot, args.k, method=args.method)
+        print(f"top-{args.k} POIs at t={args.snapshot:g} ({args.method}):")
+    else:
+        t_start, t_end = args.interval
+        result = engine.interval_topk(t_start, t_end, args.k, method=args.method)
+        print(
+            f"top-{args.k} POIs during [{t_start:g}, {t_end:g}] ({args.method}):"
+        )
+    for rank, entry in enumerate(result, start=1):
+        name = entry.poi.name or entry.poi.poi_id
+        print(f"  {rank:>2}. {name:32s} flow={entry.flow:9.3f}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "generate":
+            return _cmd_generate(args)
+        if args.command == "info":
+            return _cmd_info(args)
+        if args.command == "query":
+            return _cmd_query(args)
+    except (FileNotFoundError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""Tracking substrate: records, OTT, detection, motion and simulation."""
+
+from .detection import detect_all, detect_trajectory, detection_episodes
+from .io import (
+    load_ott_csv,
+    load_readings_csv,
+    save_ott_csv,
+    save_readings_csv,
+)
+from .merger import merge_readings
+from .motion import (
+    itinerary_trajectory,
+    random_point_in_room,
+    random_waypoint_trajectory,
+    zipf_room_weights,
+)
+from .records import DeviceId, ObjectId, RawReading, TrackingRecord
+from .simulator import (
+    SimulationResult,
+    simulate_random_waypoint,
+    simulate_trajectories,
+)
+from .table import ObjectTrackingTable
+from .trajectory import Leg, Trajectory
+
+__all__ = [
+    "DeviceId",
+    "Leg",
+    "ObjectId",
+    "ObjectTrackingTable",
+    "RawReading",
+    "SimulationResult",
+    "TrackingRecord",
+    "Trajectory",
+    "detect_all",
+    "detect_trajectory",
+    "detection_episodes",
+    "itinerary_trajectory",
+    "load_ott_csv",
+    "load_readings_csv",
+    "merge_readings",
+    "random_point_in_room",
+    "random_waypoint_trajectory",
+    "simulate_random_waypoint",
+    "save_ott_csv",
+    "save_readings_csv",
+    "simulate_trajectories",
+    "zipf_room_weights",
+]

@@ -1,0 +1,142 @@
+"""The proximity detection model: trajectories -> raw readings.
+
+The positioning substrate works exactly as the paper assumes: a device
+detects an object whenever the object is inside the device's circular
+detection range, sampled at a configured frequency (Section 2.1).  Rather
+than stepping the simulation clock, detection episodes are computed
+*analytically* per trajectory leg — a constant-speed straight leg is inside
+a circle for a closed parameter interval obtained from one quadratic
+equation — and raw readings are then emitted only at the sampling ticks
+inside those episodes.  This is orders of magnitude faster than stepping
+and bit-exact with it (the test suite compares both).
+
+All objects share one global tick grid (multiples of the sampling interval)
+so that merged records line up across devices.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+from ..indoor.devices import Deployment, Device
+from .records import RawReading
+from .trajectory import Leg, Trajectory
+
+__all__ = ["detect_trajectory", "detect_all", "detection_episodes"]
+
+
+def detection_episodes(
+    trajectory: Trajectory, device: Device
+) -> list[tuple[float, float]]:
+    """Maximal time intervals during which the object is in the device range.
+
+    Intervals are closed, non-overlapping and sorted; touching intervals
+    from consecutive legs are coalesced.
+    """
+    episodes: list[tuple[float, float]] = []
+    for leg in trajectory.legs:
+        window = _leg_episode(leg, device)
+        if window is None:
+            continue
+        if episodes and window[0] <= episodes[-1][1] + 1e-9:
+            episodes[-1] = (episodes[-1][0], max(episodes[-1][1], window[1]))
+        else:
+            episodes.append(window)
+    return episodes
+
+
+def _leg_episode(leg: Leg, device: Device) -> tuple[float, float] | None:
+    if leg.is_dwell:
+        if device.range.contains(leg.start):
+            return (leg.t_start, leg.t_end)
+        return None
+    fractions = leg.segment().circle_intersection_fractions(
+        device.center, device.radius
+    )
+    if fractions is None:
+        return None
+    f_in, f_out = fractions
+    return (
+        leg.t_start + f_in * leg.duration,
+        leg.t_start + f_out * leg.duration,
+    )
+
+
+def _ticks_in(t_from: float, t_to: float, interval: float) -> Iterable[float]:
+    """Global-grid sampling ticks inside the closed window."""
+    first = math.ceil((t_from - 1e-9) / interval)
+    last = math.floor((t_to + 1e-9) / interval)
+    for k in range(first, last + 1):
+        yield k * interval
+
+
+def detect_trajectory(
+    trajectory: Trajectory,
+    deployment: Deployment,
+    sampling_interval: float = 1.0,
+    exclusive: bool = False,
+) -> list[RawReading]:
+    """Raw readings a deployment produces for one trajectory.
+
+    Readings are sorted by time.  Only devices whose range bounding box
+    comes near a leg are examined, via the deployment's spatial index.
+
+    ``exclusive=True`` supports deployments with *overlapping* detection
+    ranges (the paper's Section 3.4 Remark): when several devices see the
+    object at the same tick, only the nearest one reports it — the way
+    real systems resolve simultaneous sightings by signal strength.  The
+    resulting readings merge into a temporally consistent OTT, and the
+    uncertainty analysis stays sound (the object provably is inside the
+    attributed device's range, and undetected gaps still imply being
+    outside every range).
+    """
+    if sampling_interval <= 0:
+        raise ValueError("sampling_interval must be positive")
+    margin = deployment.max_radius
+    readings: list[RawReading] = []
+    by_tick: dict[float, tuple[float, RawReading]] = {}
+    for leg in trajectory.legs:
+        probe = leg.mbr().expanded(margin)
+        for device in deployment.devices_near(probe):
+            window = _leg_episode(leg, device)
+            if window is None:
+                continue
+            for t in _ticks_in(window[0], window[1], sampling_interval):
+                reading = RawReading(
+                    object_id=trajectory.object_id,
+                    device_id=device.device_id,
+                    t=t,
+                )
+                if not exclusive:
+                    readings.append(reading)
+                    continue
+                distance = trajectory.position_at(t).distance_to(device.center)
+                best = by_tick.get(t)
+                if best is None or distance < best[0]:
+                    by_tick[t] = (distance, reading)
+    if exclusive:
+        readings = [reading for _, reading in by_tick.values()]
+    # A tick on a leg boundary can be emitted by both adjacent legs;
+    # de-duplicate while sorting.
+    unique = {
+        (reading.device_id, reading.t): reading for reading in readings
+    }
+    return sorted(unique.values(), key=lambda reading: (reading.t, str(reading.device_id)))
+
+
+def detect_all(
+    trajectories: Sequence[Trajectory],
+    deployment: Deployment,
+    sampling_interval: float = 1.0,
+    exclusive: bool = False,
+) -> list[RawReading]:
+    """Raw readings for a population of trajectories (grouped per object)."""
+    readings: list[RawReading] = []
+    for trajectory in trajectories:
+        readings.extend(
+            detect_trajectory(
+                trajectory, deployment, sampling_interval, exclusive=exclusive
+            )
+        )
+    return readings

@@ -1,0 +1,124 @@
+"""Reading and writing tracking data.
+
+Real deployments deliver raw readings or pre-merged tracking records as
+flat files; these helpers load them into the library's types and write
+them back out.  CSV is the interchange format: one row per reading or
+record, with a header.
+
+Schemas::
+
+    readings:  object_id,device_id,t
+    records:   record_id,object_id,device_id,t_s,t_e
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from .records import RawReading, TrackingRecord
+from .table import ObjectTrackingTable
+
+__all__ = [
+    "save_readings_csv",
+    "load_readings_csv",
+    "save_ott_csv",
+    "load_ott_csv",
+]
+
+_READING_FIELDS = ("object_id", "device_id", "t")
+_RECORD_FIELDS = ("record_id", "object_id", "device_id", "t_s", "t_e")
+
+
+def save_readings_csv(readings: Iterable[RawReading], path: str | Path) -> int:
+    """Write raw readings; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_READING_FIELDS)
+        for reading in readings:
+            writer.writerow(
+                (str(reading.object_id), str(reading.device_id), repr(reading.t))
+            )
+            count += 1
+    return count
+
+
+def load_readings_csv(path: str | Path) -> list[RawReading]:
+    """Load raw readings written by :func:`save_readings_csv`."""
+    readings = []
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, _READING_FIELDS, path)
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                readings.append(
+                    RawReading(
+                        object_id=row["object_id"],
+                        device_id=row["device_id"],
+                        t=float(row["t"]),
+                    )
+                )
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad reading row {row!r}"
+                ) from error
+    return readings
+
+
+def save_ott_csv(ott: ObjectTrackingTable, path: str | Path) -> int:
+    """Write an OTT; returns the number of rows written."""
+    count = 0
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_FIELDS)
+        for record in ott:
+            writer.writerow(
+                (
+                    record.record_id,
+                    str(record.object_id),
+                    str(record.device_id),
+                    repr(record.t_s),
+                    repr(record.t_e),
+                )
+            )
+            count += 1
+    return count
+
+
+def load_ott_csv(path: str | Path) -> ObjectTrackingTable:
+    """Load (and freeze) an OTT written by :func:`save_ott_csv`.
+
+    Raises ``ValueError`` on malformed rows and on temporally inconsistent
+    data (overlapping records of one object), so bad files fail loudly at
+    load time rather than corrupting query results.
+    """
+    table = ObjectTrackingTable()
+    with open(path, newline="") as handle:
+        reader = csv.DictReader(handle)
+        _require_fields(reader.fieldnames, _RECORD_FIELDS, path)
+        for line_number, row in enumerate(reader, start=2):
+            try:
+                table.append(
+                    TrackingRecord(
+                        record_id=int(row["record_id"]),
+                        object_id=row["object_id"],
+                        device_id=row["device_id"],
+                        t_s=float(row["t_s"]),
+                        t_e=float(row["t_e"]),
+                    )
+                )
+            except (TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: bad record row {row!r}"
+                ) from error
+    return table.freeze()
+
+
+def _require_fields(fieldnames, expected, path) -> None:
+    if fieldnames is None or tuple(fieldnames) != tuple(expected):
+        raise ValueError(
+            f"{path}: expected header {','.join(expected)}, "
+            f"got {fieldnames!r}"
+        )

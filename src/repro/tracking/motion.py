@@ -1,0 +1,200 @@
+"""Motion programs: how simulated objects move through the floor plan.
+
+The paper generates object movements with the *random waypoint model*
+(Section 5.1): each object repeatedly picks a random destination, walks
+there at fixed speed, optionally pauses, and repeats.  Indoors the walk
+must honour the topology — objects move along shortest door paths, which
+is what :class:`repro.indoor.topology.DoorGraph` provides.
+
+:func:`itinerary_trajectory` builds purpose-driven movement instead (used
+by the airport data generator: check-in → security → shops → gate).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from ..geometry import Point
+from ..indoor.floorplan import FloorPlan, Room
+from ..indoor.topology import DoorGraph
+from .records import ObjectId
+from .trajectory import Leg, Trajectory
+
+__all__ = [
+    "random_point_in_room",
+    "random_waypoint_trajectory",
+    "itinerary_trajectory",
+    "zipf_room_weights",
+]
+
+#: Inset from room walls when sampling random positions, so objects never
+#: stand exactly on a boundary (meters).
+_WALL_INSET = 0.4
+
+
+def random_point_in_room(room: Room, rng: random.Random) -> Point:
+    """A uniform random point inside ``room``, inset from the walls."""
+    box = room.polygon.mbr
+    min_x = box.min_x + _WALL_INSET
+    max_x = box.max_x - _WALL_INSET
+    min_y = box.min_y + _WALL_INSET
+    max_y = box.max_y - _WALL_INSET
+    if min_x >= max_x or min_y >= max_y:
+        return box.center
+    # Rooms are convex; rejection-sample against the polygon for the
+    # general case (a rectangle accepts on the first draw).
+    for _ in range(64):
+        candidate = Point(rng.uniform(min_x, max_x), rng.uniform(min_y, max_y))
+        if room.polygon.contains(candidate):
+            return candidate
+    return room.polygon.centroid()
+
+
+def _walk_legs(
+    waypoints: Sequence[Point], speed: float, t_start: float
+) -> tuple[list[Leg], float]:
+    """Constant-speed legs through ``waypoints``; returns (legs, end time)."""
+    legs: list[Leg] = []
+    t = t_start
+    for a, b in zip(waypoints, waypoints[1:]):
+        distance = a.distance_to(b)
+        if distance <= 0.0:
+            continue
+        duration = distance / speed
+        legs.append(Leg(start=a, end=b, t_start=t, t_end=t + duration))
+        t += duration
+    return legs, t
+
+
+def zipf_room_weights(room_count: int, exponent: float = 1.0) -> list[float]:
+    """Zipf-like popularity weights for destination choice.
+
+    Real indoor spaces have popular and unpopular parts (the paper's whole
+    premise — some shops are visited far more than others); a Zipf profile
+    over rooms reproduces that skew.  ``exponent=0`` degenerates to the
+    uniform choice of the textbook random waypoint model.
+    """
+    if room_count < 1:
+        raise ValueError("room_count must be positive")
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    return [1.0 / (rank + 1) ** exponent for rank in range(room_count)]
+
+
+def random_waypoint_trajectory(
+    object_id: ObjectId,
+    plan: FloorPlan,
+    graph: DoorGraph,
+    rng: random.Random,
+    speed: float = 1.1,
+    t_start: float = 0.0,
+    duration: float = 3600.0,
+    pause_max: float = 60.0,
+    room_weights: Sequence[float] | None = None,
+) -> Trajectory:
+    """Random waypoint movement for ``duration`` seconds.
+
+    The object starts at a random point, then repeatedly: picks a random
+    room and a random point in it, walks the shortest indoor route there at
+    ``speed`` (the paper uses a fixed speed equal to ``V_max``), and pauses
+    for a uniform random time up to ``pause_max``.  The final leg is
+    truncated at the horizon so all trajectories span exactly
+    ``[t_start, t_start + duration]``.
+
+    ``room_weights`` biases destination choice (e.g.
+    :func:`zipf_room_weights`); ``None`` picks rooms uniformly.
+    """
+    if speed <= 0:
+        raise ValueError("speed must be positive")
+    rooms = plan.rooms
+    if room_weights is not None and len(room_weights) != len(rooms):
+        raise ValueError("room_weights must have one weight per room")
+    t_end_target = t_start + duration
+
+    def pick_room() -> Room:
+        if room_weights is None:
+            return rng.choice(rooms)
+        return rng.choices(rooms, weights=room_weights, k=1)[0]
+
+    position = random_point_in_room(pick_room(), rng)
+    legs: list[Leg] = []
+    t = t_start
+    while t < t_end_target:
+        destination_room = pick_room()
+        destination = random_point_in_room(destination_room, rng)
+        waypoints = graph.route(position, destination)
+        if waypoints is None or len(waypoints) < 2:
+            # Unreachable destination (disconnected plan): dwell instead.
+            waypoints = [position]
+        walk_legs, t_after = _walk_legs(waypoints, speed, t)
+        legs.extend(walk_legs)
+        t = t_after
+        position = waypoints[-1]
+        if t >= t_end_target:
+            break
+        pause = rng.uniform(0.0, pause_max)
+        if pause > 0.0:
+            pause_end = min(t + pause, t_end_target)
+            legs.append(Leg(start=position, end=position, t_start=t, t_end=pause_end))
+            t = pause_end
+    return Trajectory(object_id, _truncate(legs, t_start, t_end_target, position))
+
+
+def itinerary_trajectory(
+    object_id: ObjectId,
+    graph: DoorGraph,
+    stops: Sequence[tuple[Point, float]],
+    speed: float = 1.1,
+    t_start: float = 0.0,
+) -> Trajectory:
+    """Movement visiting ``stops`` in order, dwelling at each.
+
+    ``stops`` is a sequence of ``(position, dwell_seconds)``; the object
+    walks shortest indoor routes between consecutive stops.
+    """
+    if not stops:
+        raise ValueError("itinerary needs at least one stop")
+    legs: list[Leg] = []
+    t = t_start
+    position, first_dwell = stops[0]
+    if first_dwell > 0:
+        legs.append(Leg(position, position, t, t + first_dwell))
+        t += first_dwell
+    for destination, dwell in stops[1:]:
+        waypoints = graph.route(position, destination)
+        if waypoints is None:
+            raise ValueError(
+                f"object {object_id!r}: no indoor route to {destination}"
+            )
+        walk_legs, t = _walk_legs(waypoints, speed, t)
+        legs.extend(walk_legs)
+        position = destination
+        if dwell > 0:
+            legs.append(Leg(position, position, t, t + dwell))
+            t += dwell
+    if not legs:
+        legs.append(Leg(position, position, t_start, t_start))
+    return Trajectory(object_id, legs)
+
+
+def _truncate(
+    legs: list[Leg], t_start: float, t_end: float, position: Point
+) -> list[Leg]:
+    """Clip legs at the horizon; pad with a dwell when movement ended early."""
+    result: list[Leg] = []
+    for leg in legs:
+        if leg.t_start >= t_end:
+            break
+        if leg.t_end <= t_end:
+            result.append(leg)
+            continue
+        cut_point = leg.position_at(t_end)
+        result.append(Leg(leg.start, cut_point, leg.t_start, t_end))
+        break
+    if not result:
+        result.append(Leg(position, position, t_start, t_end))
+    elif result[-1].t_end < t_end:
+        tail = result[-1]
+        result.append(Leg(tail.end, tail.end, tail.t_end, t_end))
+    return result

@@ -1,0 +1,177 @@
+"""The Object Tracking Table (OTT).
+
+The OTT stores the historical tracking records of all objects (paper,
+Table 2).  Besides plain storage it offers the per-object temporal lookups
+the uncertainty analysis needs — the record covering a time point, and the
+predecessor/successor records around an undetected gap — which double as
+the brute-force reference implementation the AR-tree is tested against.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from .records import DeviceId, ObjectId, TrackingRecord
+
+__all__ = ["ObjectTrackingTable"]
+
+
+class ObjectTrackingTable:
+    """An append-only table of tracking records with per-object ordering.
+
+    Records of the same object must be temporally consistent: sorted by
+    ``t_s`` and non-overlapping (an object is seen by one device at a time;
+    the paper assumes non-overlapping detection ranges, Section 3.4 Remark).
+    Consistency is validated on :meth:`freeze`.
+    """
+
+    def __init__(self, records: Iterable[TrackingRecord] = ()):  # noqa: D107
+        self._records: list[TrackingRecord] = []
+        self._by_object: dict[ObjectId, list[TrackingRecord]] = {}
+        self._start_times: dict[ObjectId, list[float]] = {}
+        self._frozen = False
+        for record in records:
+            self.append(record)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, record: TrackingRecord) -> None:
+        """Add a record (records may arrive in any global order)."""
+        if self._frozen:
+            raise RuntimeError("cannot append to a frozen OTT")
+        self._records.append(record)
+        self._by_object.setdefault(record.object_id, []).append(record)
+
+    def freeze(self) -> "ObjectTrackingTable":
+        """Sort per-object sequences, validate them and lock the table."""
+        if self._frozen:
+            return self
+        for object_id, sequence in self._by_object.items():
+            sequence.sort(key=lambda record: (record.t_s, record.t_e))
+            self._validate_sequence(object_id, sequence)
+            self._start_times[object_id] = [record.t_s for record in sequence]
+        self._frozen = True
+        return self
+
+    @staticmethod
+    def _validate_sequence(
+        object_id: ObjectId, sequence: Sequence[TrackingRecord]
+    ) -> None:
+        for previous, current in zip(sequence, sequence[1:]):
+            if current.t_s < previous.t_e:
+                raise ValueError(
+                    f"object {object_id!r}: record {current.record_id} "
+                    f"(t_s={current.t_s}) overlaps record "
+                    f"{previous.record_id} (t_e={previous.t_e})"
+                )
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("freeze() the OTT before querying it")
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TrackingRecord]:
+        return iter(self._records)
+
+    @property
+    def object_ids(self) -> list[ObjectId]:
+        return list(self._by_object.keys())
+
+    @property
+    def object_count(self) -> int:
+        return len(self._by_object)
+
+    def time_span(self) -> tuple[float, float]:
+        """The (min t_s, max t_e) over all records."""
+        self._require_frozen()
+        if not self._records:
+            raise ValueError("empty OTT has no time span")
+        return (
+            min(record.t_s for record in self._records),
+            max(record.t_e for record in self._records),
+        )
+
+    def records_for(self, object_id: ObjectId) -> list[TrackingRecord]:
+        """The object's records sorted by start time (copy)."""
+        self._require_frozen()
+        return list(self._by_object.get(object_id, []))
+
+    # ------------------------------------------------------------------
+    # Temporal lookups (reference implementation for the AR-tree)
+    # ------------------------------------------------------------------
+
+    def record_covering(
+        self, object_id: ObjectId, t: float
+    ) -> TrackingRecord | None:
+        """The record whose detection episode covers ``t``, if any."""
+        self._require_frozen()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        index = bisect.bisect_right(self._start_times[object_id], t) - 1
+        if index >= 0 and sequence[index].covers(t):
+            return sequence[index]
+        return None
+
+    def predecessor(
+        self, object_id: ObjectId, t: float
+    ) -> TrackingRecord | None:
+        """The last record with ``t_e < t`` — ``rd_pre`` for an inactive state.
+
+        For an *active* state the paper's ``rd_pre`` is instead the
+        predecessor of the covering record; use :meth:`previous_record`.
+        """
+        self._require_frozen()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        candidate = None
+        for record in sequence:
+            if record.t_e < t:
+                candidate = record
+            else:
+                break
+        return candidate
+
+    def successor(self, object_id: ObjectId, t: float) -> TrackingRecord | None:
+        """The first record with ``t_s > t`` — ``rd_suc`` for an inactive state."""
+        self._require_frozen()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        index = bisect.bisect_right(self._start_times[object_id], t)
+        if index < len(sequence):
+            return sequence[index]
+        return None
+
+    def previous_record(
+        self, object_id: ObjectId, record: TrackingRecord
+    ) -> TrackingRecord | None:
+        """The record immediately before ``record`` for the same object."""
+        self._require_frozen()
+        sequence = self._by_object.get(object_id, [])
+        for previous, current in zip(sequence, sequence[1:]):
+            if current.record_id == record.record_id:
+                return previous
+        return None
+
+    def records_overlapping(
+        self, object_id: ObjectId, t_start: float, t_end: float
+    ) -> list[TrackingRecord]:
+        """The object's records intersecting the closed window."""
+        self._require_frozen()
+        return [
+            record
+            for record in self._by_object.get(object_id, [])
+            if record.overlaps(t_start, t_end)
+        ]

@@ -1,0 +1,138 @@
+"""Ground-truth trajectories of simulated indoor moving objects.
+
+A trajectory is a chain of *legs*: straight constant-speed walks between
+waypoints and stationary dwells.  Trajectories serve two purposes:
+
+* the detection model turns them into raw readings (what a real positioning
+  system would observe), and
+* they are the **ground truth** against which the uncertainty analysis can
+  be validated — the paper's derivations guarantee that an object's true
+  position always lies inside its uncertainty region, and the test suite
+  checks exactly that.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..geometry import EPSILON, Mbr, Point, Region, Segment
+from .records import ObjectId
+
+__all__ = ["Leg", "Trajectory"]
+
+
+@dataclass(frozen=True, slots=True)
+class Leg:
+    """A straight constant-speed walk (or a dwell when the points match)."""
+
+    start: Point
+    end: Point
+    t_start: float
+    t_end: float
+
+    def __post_init__(self) -> None:
+        if self.t_end < self.t_start:
+            raise ValueError("leg ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.t_end - self.t_start
+
+    @property
+    def is_dwell(self) -> bool:
+        return self.start.almost_equal(self.end)
+
+    def speed(self) -> float:
+        if self.duration <= EPSILON:
+            return 0.0
+        return self.start.distance_to(self.end) / self.duration
+
+    def position_at(self, t: float) -> Point:
+        """Position at time ``t`` (clamped to the leg's time span)."""
+        if self.duration <= EPSILON or t <= self.t_start:
+            return self.start
+        if t >= self.t_end:
+            return self.end
+        fraction = (t - self.t_start) / self.duration
+        return self.start.lerp(self.end, fraction)
+
+    def segment(self) -> Segment:
+        return Segment(self.start, self.end)
+
+    def mbr(self) -> Mbr:
+        return Mbr.from_points((self.start, self.end))
+
+
+class Trajectory:
+    """The full movement history of one object: contiguous legs."""
+
+    def __init__(self, object_id: ObjectId, legs: Sequence[Leg]):
+        if not legs:
+            raise ValueError("a trajectory needs at least one leg")
+        for previous, current in zip(legs, legs[1:]):
+            if abs(current.t_start - previous.t_end) > 1e-6:
+                raise ValueError(
+                    f"object {object_id!r}: leg starting at {current.t_start} "
+                    f"does not continue from {previous.t_end}"
+                )
+            if not current.start.almost_equal(previous.end, tolerance=1e-6):
+                raise ValueError(
+                    f"object {object_id!r}: trajectory teleports at "
+                    f"t={current.t_start}"
+                )
+        self.object_id = object_id
+        self.legs: tuple[Leg, ...] = tuple(legs)
+        self._leg_starts = [leg.t_start for leg in self.legs]
+
+    @property
+    def t_start(self) -> float:
+        return self.legs[0].t_start
+
+    @property
+    def t_end(self) -> float:
+        return self.legs[-1].t_end
+
+    def position_at(self, t: float) -> Point:
+        """True position at ``t`` (clamped to the trajectory's time span)."""
+        index = bisect.bisect_right(self._leg_starts, t) - 1
+        index = max(0, index)
+        return self.legs[index].position_at(t)
+
+    def max_speed(self) -> float:
+        return max(leg.speed() for leg in self.legs)
+
+    def mbr(self) -> Mbr:
+        return Mbr.union_all(leg.mbr() for leg in self.legs)
+
+    # ------------------------------------------------------------------
+    # Ground-truth probes (used to validate uncertainty regions)
+    # ------------------------------------------------------------------
+
+    def sample_times(self, t_from: float, t_to: float, step: float) -> list[float]:
+        """Times in ``[t_from, t_to]`` clipped to the trajectory, plus leg
+        boundaries — a covering probe set for invariants."""
+        t_from = max(t_from, self.t_start)
+        t_to = min(t_to, self.t_end)
+        if t_to < t_from:
+            return []
+        times = set()
+        t = t_from
+        while t < t_to:
+            times.add(t)
+            t += step
+        times.add(t_to)
+        for boundary in self._leg_starts:
+            if t_from <= boundary <= t_to:
+                times.add(boundary)
+        return sorted(times)
+
+    def ever_inside(
+        self, region: Region, t_from: float, t_to: float, step: float = 0.5
+    ) -> bool:
+        """Whether the sampled true position enters ``region`` in the window."""
+        return any(
+            region.contains(self.position_at(t))
+            for t in self.sample_times(t_from, t_to, step)
+        )

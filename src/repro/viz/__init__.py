@@ -1,0 +1,5 @@
+"""Zero-dependency SVG visualisation of indoor analytics."""
+
+from .svg import SvgCanvas
+
+__all__ = ["SvgCanvas"]

@@ -1,0 +1,129 @@
+"""Robustness against hostile or physically inconsistent tracking data.
+
+Real OTTs contain garbage: objects that "teleport" (gaps too short for
+the distance covered), records referencing decommissioned devices,
+zero-duration sightings.  The engine must either answer soundly (empty
+regions → zero flow) or fail loudly — never crash mid-query or return
+garbage silently.
+"""
+
+import pytest
+
+from repro.core import FlowEngine
+from repro.geometry import Point, Polygon
+from repro.indoor import Deployment, Device, FloorPlan, Poi, Room
+from repro.tracking import ObjectTrackingTable, TrackingRecord
+
+
+@pytest.fixture(scope="module")
+def world():
+    plan = FloorPlan(
+        [Room("hall", Polygon.rectangle(0, 0, 120, 10), kind="hallway")], []
+    )
+    deployment = Deployment(
+        [
+            Device.at("near", Point(10, 5), 2.0),
+            Device.at("far", Point(110, 5), 2.0),
+        ]
+    )
+    pois = [
+        Poi("west", Polygon.rectangle(2, 2, 30, 8), "hall"),
+        Poi("east", Polygon.rectangle(90, 2, 118, 8), "hall"),
+    ]
+    return plan, deployment, pois
+
+
+def engine_for(world, records, v_max=1.0):
+    plan, deployment, pois = world
+    ott = ObjectTrackingTable(records).freeze()
+    return FlowEngine(plan, deployment, ott, pois, v_max=v_max)
+
+
+class TestTeleportingObject:
+    """100 m apart in 1 s at v_max = 1 m/s: physically impossible."""
+
+    def records(self):
+        return [
+            TrackingRecord(0, "ghost", "near", 0.0, 10.0),
+            TrackingRecord(1, "ghost", "far", 11.0, 20.0),
+        ]
+
+    def test_snapshot_in_impossible_gap_is_empty(self, world):
+        engine = engine_for(world, self.records())
+        region = engine.snapshot_region_of("ghost", 10.5)
+        assert region is not None
+        assert region.is_empty() or region.mbr is None
+
+    def test_queries_do_not_crash(self, world):
+        engine = engine_for(world, self.records())
+        snapshot = engine.snapshot_topk(10.5, 2)
+        assert len(snapshot) == 2
+        interval = engine.interval_topk(5.0, 15.0, 2)
+        assert len(interval) == 2
+
+    def test_both_methods_agree_on_garbage(self, world):
+        engine = engine_for(world, self.records())
+        for t in (5.0, 10.5, 15.0):
+            iterative = engine.snapshot_topk(t, 2, method="iterative")
+            join = engine.snapshot_topk(t, 2, method="join")
+            assert sorted(iterative.flows) == pytest.approx(
+                sorted(join.flows), abs=1e-6
+            )
+
+    def test_detection_intervals_still_counted(self, world):
+        """The impossible gap voids the gap region, not the detections."""
+        engine = engine_for(world, self.records())
+        flows = engine.interval_flows(0.0, 20.0)
+        assert flows.get("west", 0.0) > 0.0  # seen at 'near' for 10 s
+        assert flows.get("east", 0.0) > 0.0  # seen at 'far' for 9 s
+
+
+class TestUnknownDevice:
+    def test_query_fails_loudly(self, world):
+        engine = engine_for(
+            world, [TrackingRecord(0, "o", "decommissioned", 0.0, 10.0)]
+        )
+        with pytest.raises(KeyError):
+            engine.snapshot_topk(5.0, 1, method="iterative")
+
+
+class TestDegenerateRecords:
+    def test_zero_duration_sighting(self, world):
+        engine = engine_for(world, [TrackingRecord(0, "o", "near", 5.0, 5.0)])
+        result = engine.snapshot_topk(5.0, 1)
+        assert result.entries[0].flow > 0.0  # inside 'near' at that instant
+
+    def test_single_record_object_window_queries(self, world):
+        engine = engine_for(world, [TrackingRecord(0, "o", "near", 5.0, 8.0)])
+        flows = engine.interval_flows(0.0, 20.0)
+        assert flows.get("west", 0.0) > 0.0
+
+    def test_empty_ott(self, world):
+        engine = engine_for(world, [])
+        assert all(e.flow == 0.0 for e in engine.snapshot_topk(5.0, 2))
+        assert all(e.flow == 0.0 for e in engine.interval_topk(0.0, 10.0, 2))
+
+
+class TestExtremeSpeeds:
+    def test_tiny_vmax_keeps_regions_feasible_near_detections(self, world):
+        records = [
+            TrackingRecord(0, "o", "near", 0.0, 10.0),
+            TrackingRecord(1, "o", "near", 20.0, 30.0),
+        ]
+        engine = engine_for(world, records, v_max=0.01)
+        region = engine.snapshot_region_of("o", 15.0)
+        # Barely moving: confined to a 5 cm whisker around 'near' (radius
+        # 2 m, 5 s at 0.01 m/s since last seen).
+        assert region.contains(Point(12.04, 5.0))
+        assert not region.contains(Point(12.10, 5.0))
+        assert not region.contains(Point(20.0, 5.0))
+
+    def test_huge_vmax_does_not_blow_up(self, world):
+        records = [
+            TrackingRecord(0, "o", "near", 0.0, 10.0),
+            TrackingRecord(1, "o", "far", 60.0, 70.0),
+        ]
+        engine = engine_for(world, records, v_max=1000.0)
+        result = engine.snapshot_topk(30.0, 2)
+        # Everything is reachable: both POIs get (equal) positive flow.
+        assert all(e.flow > 0.0 for e in result)

@@ -1,0 +1,153 @@
+"""Equivalence and behaviour tests for the query algorithms.
+
+The central contract: for any data and parameters, the join-based
+algorithms return the same top-k flows as the iterative baselines (ties may
+be permuted; flows agree to float tolerance).
+"""
+
+import pytest
+
+from repro.core import interval_flows, snapshot_flows
+
+
+def assert_same_topk(result_a, result_b):
+    """Same flow values (tolerating tie permutations and float noise)."""
+    assert len(result_a) == len(result_b)
+    flows_a = sorted(result_a.flows, reverse=True)
+    flows_b = sorted(result_b.flows, reverse=True)
+    for a, b in zip(flows_a, flows_b):
+        assert a == pytest.approx(b, abs=1e-6)
+    # Non-tied positions must name the same POI.
+    for entry_a, entry_b in zip(result_a.entries, result_b.entries):
+        if abs(entry_a.flow - entry_b.flow) > 1e-6:
+            raise AssertionError(
+                f"flow mismatch: {entry_a.poi.poi_id}={entry_a.flow} vs "
+                f"{entry_b.poi.poi_id}={entry_b.flow}"
+            )
+
+
+class TestSnapshotEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 10])
+    def test_join_matches_iterative(self, synthetic_dataset, synthetic_engine, k):
+        t = synthetic_dataset.mid_time()
+        iterative = synthetic_engine.snapshot_topk(t, k, method="iterative")
+        join = synthetic_engine.snapshot_topk(t, k, method="join")
+        assert_same_topk(iterative, join)
+
+    @pytest.mark.parametrize("fraction", [0.2, 0.6])
+    def test_equivalence_on_poi_subsets(
+        self, synthetic_dataset, synthetic_engine, fraction
+    ):
+        t = synthetic_dataset.mid_time()
+        subset = synthetic_dataset.poi_subset(fraction * 100, seed=1)
+        iterative = synthetic_engine.snapshot_topk(
+            t, 5, pois=subset, method="iterative"
+        )
+        join = synthetic_engine.snapshot_topk(t, 5, pois=subset, method="join")
+        assert_same_topk(iterative, join)
+
+    def test_equivalence_at_many_time_points(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        start, end = synthetic_dataset.time_span()
+        for fraction in (0.2, 0.5, 0.8):
+            t = start + fraction * (end - start)
+            iterative = synthetic_engine.snapshot_topk(t, 5, method="iterative")
+            join = synthetic_engine.snapshot_topk(t, 5, method="join")
+            assert_same_topk(iterative, join)
+
+    def test_flows_positive_and_bounded(self, synthetic_dataset, synthetic_engine):
+        t = synthetic_dataset.mid_time()
+        flows = synthetic_engine.snapshot_flows(t)
+        object_count = synthetic_dataset.ott.object_count
+        for value in flows.values():
+            assert 0.0 < value <= object_count + 1e-9
+
+
+class TestIntervalEquivalence:
+    @pytest.mark.parametrize("minutes", [2, 8])
+    def test_join_matches_iterative(
+        self, synthetic_dataset, synthetic_engine, minutes
+    ):
+        start, end = synthetic_dataset.window(minutes)
+        iterative = synthetic_engine.interval_topk(start, end, 5, method="iterative")
+        join = synthetic_engine.interval_topk(start, end, 5, method="join")
+        assert_same_topk(iterative, join)
+
+    def test_segment_mbr_improvement_changes_nothing(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        start, end = synthetic_dataset.window(5)
+        improved = synthetic_engine.interval_topk(
+            start, end, 5, method="join", use_segment_mbrs=True
+        )
+        coarse = synthetic_engine.interval_topk(
+            start, end, 5, method="join", use_segment_mbrs=False
+        )
+        assert_same_topk(improved, coarse)
+
+    def test_equivalence_on_poi_subsets(self, synthetic_dataset, synthetic_engine):
+        start, end = synthetic_dataset.window(5)
+        subset = synthetic_dataset.poi_subset(40, seed=2)
+        iterative = synthetic_engine.interval_topk(
+            start, end, 5, pois=subset, method="iterative"
+        )
+        join = synthetic_engine.interval_topk(
+            start, end, 5, pois=subset, method="join"
+        )
+        assert_same_topk(iterative, join)
+
+    def test_flows_grow_with_window(self, synthetic_dataset, synthetic_engine):
+        """A longer window can only add presence, never remove it."""
+        short = synthetic_dataset.window(2)
+        total_short = sum(
+            synthetic_engine.interval_flows(short[0], short[1]).values()
+        )
+        long = synthetic_dataset.window(10)
+        total_long = sum(synthetic_engine.interval_flows(long[0], long[1]).values())
+        assert total_long >= total_short - 1e-6
+
+
+class TestResultShape:
+    def test_returns_exactly_k(self, synthetic_dataset, synthetic_engine):
+        t = synthetic_dataset.mid_time()
+        for k in (1, 7, 20):
+            assert len(synthetic_engine.snapshot_topk(t, k)) == k
+
+    def test_flows_sorted_descending(self, synthetic_dataset, synthetic_engine):
+        t = synthetic_dataset.mid_time()
+        result = synthetic_engine.snapshot_topk(t, 10)
+        assert result.flows == sorted(result.flows, reverse=True)
+
+    def test_query_outside_data_span_returns_zero_flows(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        result = synthetic_engine.snapshot_topk(1e9, 3)
+        assert len(result) == 3
+        assert all(entry.flow == 0.0 for entry in result)
+        result = synthetic_engine.snapshot_topk(1e9, 3, method="iterative")
+        assert all(entry.flow == 0.0 for entry in result)
+
+    def test_unknown_method_rejected(self, synthetic_dataset, synthetic_engine):
+        with pytest.raises(ValueError):
+            synthetic_engine.snapshot_topk(0.0, 1, method="magic")
+        with pytest.raises(ValueError):
+            synthetic_engine.interval_topk(0.0, 1.0, 1, method="magic")
+
+    def test_empty_poi_subset_rejected(self, synthetic_engine):
+        with pytest.raises(ValueError):
+            synthetic_engine.snapshot_topk(0.0, 1, pois=[])
+
+
+class TestCphEquivalence:
+    def test_snapshot(self, cph_dataset, cph_engine):
+        t = cph_dataset.mid_time()
+        iterative = cph_engine.snapshot_topk(t, 5, method="iterative")
+        join = cph_engine.snapshot_topk(t, 5, method="join")
+        assert_same_topk(iterative, join)
+
+    def test_interval(self, cph_dataset, cph_engine):
+        start, end = cph_dataset.window(10)
+        iterative = cph_engine.interval_topk(start, end, 5, method="iterative")
+        join = cph_engine.interval_topk(start, end, 5, method="join")
+        assert_same_topk(iterative, join)

@@ -1,0 +1,179 @@
+"""Property-based equivalence of the join and iterative algorithms.
+
+The simulator-based tests exercise realistic data; these hypothesis tests
+throw *arbitrary* consistent tracking tables (random device sequences,
+random gaps, boundary-touching windows) at both algorithms and require
+identical flows — the strongest contract the paper states (Section 4: the
+join is an optimisation, not an approximation).
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlowEngine
+from repro.geometry import Point, Polygon
+from repro.indoor import Deployment, Device, Door, FloorPlan, Poi, Room
+from repro.tracking import ObjectTrackingTable, TrackingRecord
+
+
+def _fixture_world():
+    """A small three-room world with four devices and six POIs."""
+    rooms = [
+        Room("west", Polygon.rectangle(0, 0, 20, 12)),
+        Room("mid", Polygon.rectangle(20, 0, 40, 12)),
+        Room("east", Polygon.rectangle(40, 0, 60, 12)),
+    ]
+    doors = [
+        Door("wm", Point(20, 6), "west", "mid"),
+        Door("me", Point(40, 6), "mid", "east"),
+    ]
+    plan = FloorPlan(rooms, doors)
+    deployment = Deployment(
+        [
+            Device.at("d0", Point(5, 6), 2.0),
+            Device.at("d1", Point(20, 6), 2.0),
+            Device.at("d2", Point(40, 6), 2.0),
+            Device.at("d3", Point(55, 6), 2.0),
+        ]
+    )
+    pois = [
+        Poi(f"poi{i}", Polygon.rectangle(2 + i * 9.5, 1, 9 + i * 9.5, 11), room)
+        for i, room in enumerate(
+            ["west", "west", "mid", "mid", "east", "east"]
+        )
+    ]
+    return plan, deployment, pois
+
+
+_PLAN, _DEPLOYMENT, _POIS = _fixture_world()
+_DEVICE_IDS = ["d0", "d1", "d2", "d3"]
+
+
+@st.composite
+def tracking_tables(draw):
+    """Random consistent OTTs over the fixture deployment."""
+    records = []
+    record_id = 0
+    for obj in range(draw(st.integers(min_value=1, max_value=6))):
+        t = draw(st.floats(min_value=0.0, max_value=50.0))
+        for _ in range(draw(st.integers(min_value=1, max_value=6))):
+            gap = draw(st.floats(min_value=0.5, max_value=60.0))
+            duration = draw(st.floats(min_value=0.0, max_value=20.0))
+            device = draw(st.sampled_from(_DEVICE_IDS))
+            t_s = t + gap
+            records.append(
+                TrackingRecord(record_id, f"o{obj}", device, t_s, t_s + duration)
+            )
+            record_id += 1
+            t = t_s + duration
+    return ObjectTrackingTable(records).freeze()
+
+
+def _engine(ott, topology_check=True):
+    return FlowEngine(
+        _PLAN,
+        _DEPLOYMENT,
+        ott,
+        _POIS,
+        v_max=1.5,
+        resolution=16,
+        topology_check=topology_check,
+    )
+
+
+def _assert_flows_match(a, b):
+    assert len(a) == len(b)
+    flows_a = sorted(a.flows, reverse=True)
+    flows_b = sorted(b.flows, reverse=True)
+    for x, y in zip(flows_a, flows_b):
+        assert x == pytest.approx(y, abs=1e-6)
+
+
+class TestRandomTables:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        tracking_tables(),
+        st.floats(min_value=0.0, max_value=250.0),
+        st.integers(min_value=1, max_value=6),
+    )
+    def test_snapshot_equivalence(self, ott, t, k):
+        engine = _engine(ott)
+        iterative = engine.snapshot_topk(t, k, method="iterative")
+        join = engine.snapshot_topk(t, k, method="join")
+        _assert_flows_match(iterative, join)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        tracking_tables(),
+        st.floats(min_value=0.0, max_value=200.0),
+        st.floats(min_value=0.0, max_value=80.0),
+        st.integers(min_value=1, max_value=6),
+        st.booleans(),
+    )
+    def test_interval_equivalence(self, ott, start, length, k, segments):
+        engine = _engine(ott)
+        end = start + length
+        iterative = engine.interval_topk(start, end, k, method="iterative")
+        join = engine.interval_topk(
+            start, end, k, method="join", use_segment_mbrs=segments
+        )
+        _assert_flows_match(iterative, join)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(tracking_tables(), st.floats(min_value=0.0, max_value=250.0))
+    def test_flows_bounded_by_population(self, ott, t):
+        engine = _engine(ott)
+        flows = engine.snapshot_flows(t)
+        for value in flows.values():
+            assert 0.0 <= value <= ott.object_count + 1e-9
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        tracking_tables(),
+        st.floats(min_value=0.0, max_value=200.0),
+        st.floats(min_value=1.0, max_value=50.0),
+    )
+    def test_topology_check_never_raises_flow(self, ott, start, length):
+        euclid = _engine(ott, topology_check=False)
+        topo = _engine(ott, topology_check=True)
+        end = start + length
+        euclid_flows = euclid.interval_flows(start, end)
+        topo_flows = topo.interval_flows(start, end)
+        for poi_id, value in topo_flows.items():
+            assert value <= euclid_flows.get(poi_id, 0.0) + 1e-9
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(
+        tracking_tables(),
+        st.floats(min_value=0.0, max_value=200.0),
+        st.floats(min_value=0.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_window_monotonicity(self, ott, start, length, extension):
+        """Extending the window never reduces any POI's flow."""
+        engine = _engine(ott)
+        narrow = engine.interval_flows(start, start + length)
+        wide = engine.interval_flows(start, start + length + extension)
+        for poi_id, value in narrow.items():
+            assert wide.get(poi_id, 0.0) >= value - 1e-6

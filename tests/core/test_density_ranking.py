@@ -1,0 +1,75 @@
+"""Tests for the density (area-normalised) top-k variant."""
+
+import pytest
+
+from repro.core import rank_top_k, rank_top_k_by_density
+from repro.geometry import Polygon
+from repro.indoor import Poi
+
+
+def poi(poi_id, width, height=2.0):
+    return Poi(
+        poi_id=poi_id,
+        polygon=Polygon.rectangle(0, 0, width, height),
+        room_id="r",
+    )
+
+
+class TestRankByDensity:
+    def test_small_crowded_beats_large_diluted(self):
+        pois = [poi("big", 50.0), poi("small", 2.0)]
+        flows = {"big": 10.0, "small": 2.0}
+        by_flow = rank_top_k(flows, pois, 2)
+        by_density = rank_top_k_by_density(flows, pois, 2)
+        assert by_flow.poi_ids == ["big", "small"]
+        assert by_density.poi_ids == ["small", "big"]
+
+    def test_entries_carry_density_values(self):
+        pois = [poi("a", 4.0)]  # area 8
+        result = rank_top_k_by_density({"a": 4.0}, pois, 1)
+        assert result.entries[0].flow == pytest.approx(0.5)
+
+    def test_missing_flows_are_zero_density(self):
+        pois = [poi("a", 4.0), poi("b", 4.0)]
+        result = rank_top_k_by_density({"a": 1.0}, pois, 2)
+        assert result.poi_ids == ["a", "b"]
+        assert result.flows[1] == 0.0
+
+    def test_ties_broken_by_poi_id(self):
+        pois = [poi("b", 4.0), poi("a", 4.0)]
+        result = rank_top_k_by_density({"a": 2.0, "b": 2.0}, pois, 2)
+        assert result.poi_ids == ["a", "b"]
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            rank_top_k_by_density({}, [poi("a", 1.0)], 0)
+
+
+class TestEngineDensityQueries:
+    def test_snapshot_density_topk(self, synthetic_dataset, synthetic_engine):
+        t = synthetic_dataset.mid_time()
+        result = synthetic_engine.snapshot_density_topk(t, 5)
+        assert len(result) == 5
+        assert result.flows == sorted(result.flows, reverse=True)
+
+    def test_density_consistent_with_flow_map(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        t = synthetic_dataset.mid_time()
+        flows = synthetic_engine.snapshot_flows(t)
+        result = synthetic_engine.snapshot_density_topk(t, 3)
+        for entry in result:
+            expected = flows.get(entry.poi.poi_id, 0.0) / entry.poi.area()
+            assert entry.flow == pytest.approx(expected)
+
+    def test_interval_density_topk(self, synthetic_dataset, synthetic_engine):
+        start, end = synthetic_dataset.window(3)
+        result = synthetic_engine.interval_density_topk(start, end, 4)
+        assert len(result) == 4
+
+    def test_poi_subset_respected(self, synthetic_dataset, synthetic_engine):
+        subset = synthetic_dataset.poi_subset(20, seed=2)
+        allowed = {p.poi_id for p in subset}
+        t = synthetic_dataset.mid_time()
+        result = synthetic_engine.snapshot_density_topk(t, 3, pois=subset)
+        assert set(result.poi_ids) <= allowed

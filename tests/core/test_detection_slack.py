@@ -1,0 +1,112 @@
+"""Semantics of the detection-slack relaxation (DESIGN.md §6, finding 2)."""
+
+import pytest
+
+from repro.core import FlowEngine, SnapshotContext, snapshot_region
+from repro.core.uncertainty.snapshot import slack_ring
+from repro.geometry import Circle, Point
+from repro.indoor import Deployment, Device
+from repro.tracking import TrackingRecord
+
+
+class TestSlackRing:
+    def test_zero_slack_is_plain_ring(self):
+        range_circle = Circle(Point(0, 0), 2.0)
+        ring = slack_ring(range_circle, budget=3.0, inner_allowance=0.0)
+        assert ring.inner_radius == 2.0
+        assert ring.outer_radius == 5.0
+
+    def test_allowance_shrinks_inner_keeps_outer(self):
+        range_circle = Circle(Point(0, 0), 2.0)
+        ring = slack_ring(range_circle, budget=3.0, inner_allowance=0.5)
+        assert ring.inner_radius == 1.5
+        assert ring.outer_radius == 5.0
+
+    def test_allowance_clamped_to_radius(self):
+        range_circle = Circle(Point(0, 0), 2.0)
+        ring = slack_ring(range_circle, budget=3.0, inner_allowance=10.0)
+        assert ring.inner_radius == 0.0
+        assert ring.outer_radius == 5.0
+
+    def test_relaxed_ring_is_superset(self):
+        range_circle = Circle(Point(0, 0), 2.0)
+        strict = slack_ring(range_circle, 3.0, 0.0)
+        relaxed = slack_ring(range_circle, 3.0, 1.0)
+        for x in (0.0, 1.2, 1.8, 2.5, 4.9, 5.2):
+            probe = Point(x, 0.0)
+            if strict.contains(probe):
+                assert relaxed.contains(probe)
+
+
+class TestRegionWithSlack:
+    def inactive_context(self):
+        return SnapshotContext(
+            object_id="o",
+            t=14.0,
+            rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+            rd_cov=None,
+            rd_suc=TrackingRecord(1, "o", "a", 18.0, 25.0),
+        )
+
+    def test_slack_admits_just_inside_range_positions(self):
+        """An object seen by 'a' until t=10 and again from t=18 may, at
+        t=14 with sampled detection, still be fractionally inside the
+        range — slack admits that, the strict model does not."""
+        deployment = Deployment([Device.at("a", Point(0, 5), 2.0)])
+        just_inside = Point(1.5, 5.0)  # 1.5 < r = 2
+        strict = snapshot_region(
+            self.inactive_context(), deployment, 1.0, inner_allowance=0.0
+        )
+        relaxed = snapshot_region(
+            self.inactive_context(), deployment, 1.0, inner_allowance=0.75
+        )
+        assert not strict.contains(just_inside)
+        assert relaxed.contains(just_inside)
+
+    def test_outer_reach_unchanged(self):
+        deployment = Deployment([Device.at("a", Point(0, 5), 2.0)])
+        beyond = Point(6.5, 5.0)  # r + budget = 2 + 4 = 6
+        for allowance in (0.0, 1.0):
+            region = snapshot_region(
+                self.inactive_context(), deployment, 1.0, inner_allowance=allowance
+            )
+            assert not region.contains(beyond)
+
+
+class TestEngineKnob:
+    def test_rejects_negative_slack(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            synthetic_dataset.engine(detection_slack=-1.0)
+
+    def test_allowance_derived_from_vmax(self, synthetic_dataset):
+        engine = synthetic_dataset.engine(detection_slack=2.0)
+        assert engine.inner_allowance == pytest.approx(
+            2.0 * synthetic_dataset.v_max
+        )
+
+    def test_dataset_defaults_to_sampled_slack(self, synthetic_dataset):
+        engine = synthetic_dataset.engine()
+        assert engine.detection_slack == pytest.approx(
+            2.0 * synthetic_dataset.sampling_interval
+        )
+
+    def test_paper_exact_mode_available(self, synthetic_dataset):
+        engine = synthetic_dataset.engine(detection_slack=0.0)
+        assert engine.inner_allowance == 0.0
+
+    def test_slack_only_increases_flows(self, synthetic_dataset):
+        """Relaxing inner exclusions can only admit more area."""
+        t = synthetic_dataset.mid_time()
+        strict = synthetic_dataset.engine(detection_slack=0.0).snapshot_flows(t)
+        relaxed = synthetic_dataset.engine(detection_slack=2.0).snapshot_flows(t)
+        for poi_id, value in strict.items():
+            assert relaxed.get(poi_id, 0.0) >= value - 1e-9
+
+    def test_methods_agree_under_slack(self, synthetic_dataset):
+        engine = synthetic_dataset.engine(detection_slack=2.0)
+        t = synthetic_dataset.mid_time()
+        iterative = engine.snapshot_topk(t, 5, method="iterative")
+        join = engine.snapshot_topk(t, 5, method="join")
+        assert sorted(iterative.flows, reverse=True) == pytest.approx(
+            sorted(join.flows, reverse=True), abs=1e-6
+        )

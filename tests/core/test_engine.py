@@ -1,0 +1,105 @@
+"""Tests for the FlowEngine facade."""
+
+import pytest
+
+from repro.core import FlowEngine, IntervalUncertainty
+from repro.geometry import Region
+
+
+class TestConstruction:
+    def test_rejects_non_positive_vmax(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            FlowEngine(
+                synthetic_dataset.floorplan,
+                synthetic_dataset.deployment,
+                synthetic_dataset.ott,
+                synthetic_dataset.pois,
+                v_max=0.0,
+            )
+
+    def test_rejects_empty_pois(self, synthetic_dataset):
+        with pytest.raises(ValueError):
+            FlowEngine(
+                synthetic_dataset.floorplan,
+                synthetic_dataset.deployment,
+                synthetic_dataset.ott,
+                [],
+                v_max=1.0,
+            )
+
+    def test_freezes_ott(self, synthetic_dataset, synthetic_engine):
+        with pytest.raises(RuntimeError):
+            synthetic_engine.ott.append(None)
+
+    def test_topology_disabled(self, synthetic_dataset):
+        engine = synthetic_dataset.engine(topology_check=False)
+        assert engine.topology is None
+
+
+class TestIntrospection:
+    def test_snapshot_region_of_tracked_object(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        t = synthetic_dataset.mid_time()
+        object_id = synthetic_engine.ott.object_ids[0]
+        region = synthetic_engine.snapshot_region_of(object_id, t)
+        assert region is None or isinstance(region, Region)
+
+    def test_snapshot_region_of_unknown_object(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        assert synthetic_engine.snapshot_region_of("ghost", 0.0) is None
+
+    def test_interval_region_of(self, synthetic_dataset, synthetic_engine):
+        start, end = synthetic_dataset.window(3)
+        object_id = synthetic_engine.ott.object_ids[0]
+        uncertainty = synthetic_engine.interval_region_of(object_id, start, end)
+        if uncertainty is not None:
+            assert isinstance(uncertainty, IntervalUncertainty)
+            assert uncertainty.episodes
+
+    def test_interval_region_of_unknown_object(self, synthetic_engine):
+        assert synthetic_engine.interval_region_of("ghost", 0.0, 1.0) is None
+
+
+class TestFlowMaps:
+    def test_snapshot_flow_map_only_positive_entries(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        flows = synthetic_engine.snapshot_flows(synthetic_dataset.mid_time())
+        assert flows
+        assert all(value > 0.0 for value in flows.values())
+
+    def test_interval_flow_map_covers_snapshot_pois(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        t = synthetic_dataset.mid_time()
+        snapshot = synthetic_engine.snapshot_flows(t)
+        interval = synthetic_engine.interval_flows(t - 30.0, t + 30.0)
+        # Every POI with snapshot flow also has interval flow: the interval
+        # region contains the snapshot region's time slice.
+        for poi_id in snapshot:
+            assert poi_id in interval
+
+    def test_flow_map_restricted_to_subset(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        subset = synthetic_dataset.poi_subset(20, seed=3)
+        allowed = {poi.poi_id for poi in subset}
+        flows = synthetic_engine.snapshot_flows(
+            synthetic_dataset.mid_time(), pois=subset
+        )
+        assert set(flows) <= allowed
+
+
+class TestResolutionKnob:
+    def test_coarser_resolution_still_agrees_between_methods(
+        self, synthetic_dataset
+    ):
+        engine = synthetic_dataset.engine(resolution=12)
+        t = synthetic_dataset.mid_time()
+        iterative = engine.snapshot_topk(t, 5, method="iterative")
+        join = engine.snapshot_topk(t, 5, method="join")
+        assert sorted(iterative.flows, reverse=True) == pytest.approx(
+            sorted(join.flows, reverse=True), abs=1e-6
+        )

@@ -1,0 +1,175 @@
+"""Tests for interval uncertainty regions (paper, Section 3.2, Cases 1-4)."""
+
+import pytest
+
+from repro.core import IntervalContext, interval_uncertainty
+from repro.geometry import Point
+from repro.indoor import Deployment, Device
+from repro.tracking import TrackingRecord
+
+V_MAX = 1.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment(
+        [
+            Device.at("a", Point(0, 5), 2.0),
+            Device.at("b", Point(30, 5), 2.0),
+            Device.at("c", Point(60, 5), 2.0),
+        ]
+    )
+
+
+def records():
+    """Seen by a [0,10], by b [40,50], by c [80,90] — 28m gaps, 30s each."""
+    return (
+        TrackingRecord(0, "o", "a", 0.0, 10.0),
+        TrackingRecord(1, "o", "b", 40.0, 50.0),
+        TrackingRecord(2, "o", "c", 80.0, 90.0),
+    )
+
+
+def context(t_start, t_end, recs=None):
+    return IntervalContext(
+        object_id="o",
+        t_start=t_start,
+        t_end=t_end,
+        records=recs if recs is not None else records(),
+    )
+
+
+class TestCase1ActiveActive:
+    def test_detection_disks_included(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        region = ur.region
+        assert region.contains(Point(0.0, 5.0))  # inside a
+        assert region.contains(Point(30.0, 5.0))  # inside b
+        assert region.contains(Point(60.0, 5.0))  # inside c
+
+    def test_gap_corridor_included(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        assert ur.region.contains(Point(15.0, 5.0))
+        assert ur.region.contains(Point(45.0, 5.0))
+
+    def test_far_detour_excluded(self, deployment):
+        # Budget between a and b is 30 m for a 26 m straight gap: a point
+        # 20 m off-axis is unreachable.
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        assert not ur.region.contains(Point(15.0, 30.0))
+
+    def test_episode_kinds(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        kinds = [episode.kind for episode in ur.episodes]
+        assert kinds.count("detection") == 3
+        assert kinds.count("gap") == 2
+        assert "lead" not in kinds
+        assert "trail" not in kinds
+
+
+class TestCase2InactiveActive:
+    def test_start_ring_constrains_head(self, deployment):
+        # Window starts at t=25 inside the a->b gap: the object must still
+        # reach b's boundary by t=40, i.e. be within 2+15=17 of b.
+        ur = interval_uncertainty(context(25.0, 45.0), deployment, V_MAX)
+        region = ur.region
+        assert region.contains(Point(20.0, 5.0))  # 10 from b's center
+        assert not region.contains(Point(5.0, 5.0))  # 25 from b: too far
+        # a's disk is not part of the window.
+        assert not region.contains(Point(0.0, 5.0))
+
+    def test_detection_disk_of_end_record_included(self, deployment):
+        ur = interval_uncertainty(context(25.0, 45.0), deployment, V_MAX)
+        assert ur.region.contains(Point(30.0, 5.0))
+
+
+class TestCase3ActiveInactive:
+    def test_end_ring_constrains_tail(self, deployment):
+        # Window ends at t=55 inside the b->c gap: the object left b at 50,
+        # so it is within 2+5=7 of b and cannot be near c yet.
+        ur = interval_uncertainty(context(45.0, 55.0), deployment, V_MAX)
+        region = ur.region
+        assert region.contains(Point(35.0, 5.0))  # 5 from b's center
+        assert not region.contains(Point(45.0, 5.0))  # 15 from b
+        assert not region.contains(Point(60.0, 5.0))  # inside c
+
+
+class TestCase4InactiveInactive:
+    def test_both_rings_apply(self, deployment):
+        # Window [55, 65] falls fully within the b->c gap.
+        ur = interval_uncertainty(context(55.0, 65.0), deployment, V_MAX)
+        region = ur.region
+        # Within 2+15=17 of b (left at 50) and within 2+25=27 of c.
+        assert region.contains(Point(40.0, 5.0))
+        assert not region.contains(Point(31.0, 20.0))  # 15m off-axis
+        assert not region.contains(Point(0.0, 5.0))
+
+    def test_neither_disk_included_when_window_inside_gap(self, deployment):
+        ur = interval_uncertainty(context(55.0, 65.0), deployment, V_MAX)
+        assert not ur.region.contains(Point(30.0, 5.0))
+        assert not ur.region.contains(Point(60.0, 5.0))
+
+
+class TestBoundaryEpisodes:
+    def test_lead_ring_without_predecessor(self, deployment):
+        # Window starts before the object's first record: the head is
+        # bounded by the ring reachable backwards from a.
+        ur = interval_uncertainty(
+            context(-5.0, 5.0, recs=records()[:1]), deployment, V_MAX
+        )
+        kinds = [episode.kind for episode in ur.episodes]
+        assert "lead" in kinds
+        region = ur.region
+        assert region.contains(Point(5.0, 5.0))  # within 2+5 of a
+        assert not region.contains(Point(10.0, 5.0))  # 10 > 7
+
+    def test_trail_ring_without_successor(self, deployment):
+        ur = interval_uncertainty(
+            context(85.0, 95.0, recs=records()[2:]), deployment, V_MAX
+        )
+        kinds = [episode.kind for episode in ur.episodes]
+        assert "trail" in kinds
+        region = ur.region
+        assert region.contains(Point(65.0, 5.0))  # within 2+5 of c
+        assert not region.contains(Point(70.0, 5.0))
+
+    def test_window_inside_one_record(self, deployment):
+        ur = interval_uncertainty(
+            context(42.0, 48.0, recs=records()[1:2]), deployment, V_MAX
+        )
+        assert [episode.kind for episode in ur.episodes] == ["detection"]
+        assert ur.region.contains(Point(30.0, 5.0))
+        assert not ur.region.contains(Point(35.0, 5.0))
+
+
+class TestSegmentMbrs:
+    def test_one_box_per_episode(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        assert len(ur.segment_mbrs()) == len(ur.episodes)
+
+    def test_overall_mbr_covers_segments(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        overall = ur.mbr
+        for box in ur.segment_mbrs():
+            assert overall.contains_mbr(box)
+
+    def test_segments_tighter_than_overall(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        overall_area = ur.mbr.area()
+        for box in ur.segment_mbrs():
+            assert box.area() < overall_area
+
+    def test_region_within_segment_union(self, deployment):
+        ur = interval_uncertainty(context(5.0, 85.0), deployment, V_MAX)
+        boxes = ur.segment_mbrs()
+        for x in range(-10, 95, 2):
+            for y in range(-10, 21, 2):
+                p = Point(float(x), float(y))
+                if ur.region.contains(p):
+                    assert any(box.contains_point(p, tolerance=1e-6) for box in boxes)
+
+
+class TestValidation:
+    def test_rejects_non_positive_vmax(self, deployment):
+        with pytest.raises(ValueError):
+            interval_uncertainty(context(0.0, 10.0), deployment, 0.0)

@@ -1,0 +1,90 @@
+"""Tests for object presence (paper, Definition 1)."""
+
+import pytest
+
+from repro.core import PresenceEstimator
+from repro.geometry import Circle, EmptyRegion, Point, Polygon
+from repro.indoor import Poi
+
+
+def poi(poi_id="p", min_x=0.0, min_y=0.0, max_x=4.0, max_y=4.0):
+    return Poi(
+        poi_id=poi_id,
+        polygon=Polygon.rectangle(min_x, min_y, max_x, max_y),
+        room_id="r",
+    )
+
+
+class TestPresence:
+    def test_full_coverage_is_one(self):
+        estimator = PresenceEstimator()
+        assert estimator.presence(Circle(Point(2, 2), 50.0), poi()) == 1.0
+
+    def test_no_overlap_is_zero(self):
+        estimator = PresenceEstimator()
+        assert estimator.presence(Circle(Point(100, 100), 1.0), poi()) == 0.0
+
+    def test_empty_region_is_zero(self):
+        estimator = PresenceEstimator()
+        assert estimator.presence(EmptyRegion(), poi()) == 0.0
+
+    def test_half_coverage(self):
+        estimator = PresenceEstimator(resolution=64)
+        left_half = Polygon.rectangle(0, 0, 2, 4)
+        assert estimator.presence(left_half, poi()) == pytest.approx(0.5, abs=0.02)
+
+    def test_presence_in_unit_interval(self):
+        estimator = PresenceEstimator()
+        for radius in (0.5, 1.0, 3.0, 10.0):
+            value = estimator.presence(Circle(Point(2, 2), radius), poi())
+            assert 0.0 <= value <= 1.0
+
+    def test_monotone_in_region_size(self):
+        estimator = PresenceEstimator()
+        values = [
+            estimator.presence(Circle(Point(2, 2), radius), poi())
+            for radius in (0.5, 1.0, 2.0, 3.0, 6.0)
+        ]
+        assert values == sorted(values)
+
+    def test_ratio_uses_poi_own_area(self):
+        # The same region covers the small POI fully but the large one
+        # partially.
+        estimator = PresenceEstimator(resolution=64)
+        region = Circle(Point(1, 1), 1.5)
+        small = poi("small", 0.5, 0.5, 1.5, 1.5)
+        large = poi("large", 0, 0, 8, 8)
+        assert estimator.presence(region, small) == 1.0
+        assert estimator.presence(region, large) < 0.5
+
+    def test_deterministic_across_calls(self):
+        estimator = PresenceEstimator()
+        region = Circle(Point(2, 2), 2.2)
+        values = {estimator.presence(region, poi()) for _ in range(5)}
+        assert len(values) == 1
+
+    def test_deterministic_across_estimators(self):
+        region = Circle(Point(2, 2), 2.2)
+        a = PresenceEstimator().presence(region, poi())
+        b = PresenceEstimator().presence(region, poi())
+        assert a == b
+
+    def test_sample_cache_reused(self):
+        estimator = PresenceEstimator()
+        target = poi()
+        first = estimator.samples_of(target)
+        second = estimator.samples_of(target)
+        assert first is second
+
+    def test_resolution_validation(self):
+        with pytest.raises(ValueError):
+            PresenceEstimator(resolution=0)
+
+    def test_converges_to_analytic_fraction(self):
+        # Circle of radius 2 centred on a 4x4 POI corner: quarter disk
+        # inside, area pi -> fraction pi/16.
+        import math
+
+        region = Circle(Point(0, 0), 2.0)
+        fine = PresenceEstimator(resolution=200).presence(region, poi())
+        assert fine == pytest.approx(math.pi / 16.0, rel=0.03)

@@ -1,0 +1,76 @@
+"""Tests for query/result types and ranking."""
+
+import pytest
+
+from repro.core import (
+    IntervalTopKQuery,
+    RankedPoi,
+    SnapshotTopKQuery,
+    TopKResult,
+    rank_top_k,
+)
+from repro.geometry import Polygon
+from repro.indoor import Poi
+
+
+def pois(n):
+    return [
+        Poi(poi_id=f"p{i:02d}", polygon=Polygon.rectangle(i, 0, i + 1, 1), room_id="r")
+        for i in range(n)
+    ]
+
+
+class TestQueryTypes:
+    def test_snapshot_query_validation(self):
+        SnapshotTopKQuery(t=10.0, k=1)
+        with pytest.raises(ValueError):
+            SnapshotTopKQuery(t=10.0, k=0)
+
+    def test_interval_query_validation(self):
+        IntervalTopKQuery(t_start=0.0, t_end=10.0, k=3)
+        with pytest.raises(ValueError):
+            IntervalTopKQuery(t_start=10.0, t_end=0.0, k=3)
+        with pytest.raises(ValueError):
+            IntervalTopKQuery(t_start=0.0, t_end=10.0, k=0)
+
+
+class TestRanking:
+    def test_orders_by_flow_descending(self):
+        candidates = pois(4)
+        flows = {"p00": 1.0, "p01": 5.0, "p02": 3.0, "p03": 2.0}
+        result = rank_top_k(flows, candidates, k=4)
+        assert result.poi_ids == ["p01", "p02", "p03", "p00"]
+        assert result.flows == [5.0, 3.0, 2.0, 1.0]
+
+    def test_truncates_to_k(self):
+        result = rank_top_k({"p00": 1.0}, pois(10), k=3)
+        assert len(result) == 3
+
+    def test_missing_flows_count_as_zero(self):
+        result = rank_top_k({"p01": 2.0}, pois(3), k=3)
+        assert result.flows == [2.0, 0.0, 0.0]
+
+    def test_ties_broken_by_poi_id(self):
+        flows = {"p02": 1.0, "p00": 1.0, "p01": 1.0}
+        result = rank_top_k(flows, pois(3), k=3)
+        assert result.poi_ids == ["p00", "p01", "p02"]
+
+    def test_k_larger_than_poi_count(self):
+        result = rank_top_k({}, pois(2), k=10)
+        assert len(result) == 2
+
+    def test_rejects_non_positive_k(self):
+        with pytest.raises(ValueError):
+            rank_top_k({}, pois(2), k=0)
+
+
+class TestTopKResult:
+    def test_container_protocol(self):
+        entries = tuple(
+            RankedPoi(poi=p, flow=float(i)) for i, p in enumerate(pois(3))
+        )
+        result = TopKResult(entries=entries)
+        assert len(result) == 3
+        assert result[0].flow == 0.0
+        assert [entry.poi.poi_id for entry in result] == ["p00", "p01", "p02"]
+        assert result.pois[1].poi_id == "p01"

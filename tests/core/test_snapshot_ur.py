@@ -1,0 +1,161 @@
+"""Tests for snapshot uncertainty regions (paper, Section 3.1.2).
+
+A single device corridor with hand-computable geometry: devices ``a`` at
+x=0, ``b`` at x=30, both radius 2, on an open 100x10 floor (no internal
+walls, so the Euclidean analysis is exact and the topology check changes
+nothing).
+"""
+
+import math
+
+import pytest
+
+from repro.core import SnapshotContext, snapshot_mbr, snapshot_region
+from repro.geometry import Point
+from repro.indoor import Deployment, Device
+from repro.tracking import TrackingRecord
+
+V_MAX = 1.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    return Deployment(
+        [
+            Device.at("a", Point(0, 5), 2.0),
+            Device.at("b", Point(30, 5), 2.0),
+        ]
+    )
+
+
+def active_context(t=20.0):
+    """Covered by b since t=18, previously seen by a until t=10."""
+    return SnapshotContext(
+        object_id="o",
+        t=t,
+        rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+        rd_cov=TrackingRecord(1, "o", "b", 18.0, 25.0),
+        rd_suc=None,
+    )
+
+
+def inactive_context(t=14.0):
+    """Between a (left at t=10) and b (entered at t=18)."""
+    return SnapshotContext(
+        object_id="o",
+        t=t,
+        rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+        rd_cov=None,
+        rd_suc=TrackingRecord(1, "o", "b", 18.0, 25.0),
+    )
+
+
+class TestActiveCase:
+    def test_region_is_within_covering_range(self, deployment):
+        # At t=38 the ring around a spans [2, 30]: its overlap with b's
+        # range [28, 32] is x in [28, 30].
+        region = snapshot_region(active_context(t=38.0), deployment, V_MAX)
+        assert region.contains(Point(28.5, 5.0))
+        # Outside b's range: never included even though within a's ring.
+        assert not region.contains(Point(10.0, 5.0))
+        # Inside b's range but beyond the ring of a.
+        assert not region.contains(Point(31.0, 5.0))
+
+    def test_ring_constraint_prunes_far_side(self, deployment):
+        # At t=20 the object walked at most 10m since leaving a's range at
+        # t=10, so it can be at most 12m from a: the far side of b's range
+        # (x > 12) is infeasible -- but b's range spans [28, 32], all
+        # beyond 12m, so the region is empty for this timing.
+        region = snapshot_region(active_context(t=20.0), deployment, V_MAX)
+        assert not region.contains(Point(30.0, 5.0))
+
+    def test_consistent_timing_is_nonempty(self, deployment):
+        # At t=38, budget = 28m: reachable part of b's range is x <= 30.
+        region = snapshot_region(active_context(t=38.0), deployment, 1.0)
+        assert region.contains(Point(29.0, 5.0))
+
+    def test_no_predecessor_gives_full_range(self, deployment):
+        context = SnapshotContext(
+            object_id="o",
+            t=20.0,
+            rd_pre=None,
+            rd_cov=TrackingRecord(1, "o", "b", 18.0, 25.0),
+            rd_suc=None,
+        )
+        region = snapshot_region(context, deployment, V_MAX)
+        assert region.contains(Point(30.0, 5.0))
+        assert region.contains(Point(31.9, 5.0))
+        assert not region.contains(Point(32.5, 5.0))
+
+    def test_mbr_is_covering_range_box(self, deployment):
+        box = snapshot_mbr(active_context(), deployment, V_MAX)
+        assert box == deployment.device("b").range.mbr
+
+
+class TestInactiveCase:
+    def test_intersection_of_two_rings(self, deployment):
+        # At t=14: within 2+4=6 of a AND within 2+4=6 of b... the latter is
+        # impossible this far out, so pick a feasible timing instead.
+        region = snapshot_region(inactive_context(t=14.0), deployment, V_MAX)
+        # dist to a <= 2 + 4 = 6; dist to b <= 2 + 4 = 6; they are 30
+        # apart: empty.
+        assert region.is_empty() or not region.contains(Point(15.0, 5.0))
+
+    def test_feasible_inactive_midpoint(self, deployment):
+        # Widen the gap budget: leave a at 10, reach b at 36, query at 23:
+        # 13m from each boundary: midpoint x=15 qualifies.
+        context = SnapshotContext(
+            object_id="o",
+            t=23.0,
+            rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+            rd_cov=None,
+            rd_suc=TrackingRecord(1, "o", "b", 36.0, 40.0),
+        )
+        region = snapshot_region(context, deployment, V_MAX)
+        assert region.contains(Point(15.0, 5.0))
+        # But not inside either detection range (the object is undetected).
+        assert not region.contains(Point(0.0, 5.0))
+        assert not region.contains(Point(30.0, 5.0))
+
+    def test_asymmetric_budgets(self, deployment):
+        # Shortly after leaving a: tight ring around a, wide around b.
+        context = SnapshotContext(
+            object_id="o",
+            t=11.0,
+            rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+            rd_cov=None,
+            rd_suc=TrackingRecord(1, "o", "b", 36.0, 40.0),
+        )
+        region = snapshot_region(context, deployment, V_MAX)
+        assert region.contains(Point(3.0, 5.0))  # 3m from a's center
+        assert not region.contains(Point(8.0, 5.0))  # 8 > 2 + 1
+
+    def test_missing_neighbors_raise(self, deployment):
+        context = SnapshotContext(
+            object_id="o", t=10.0, rd_pre=None, rd_cov=None, rd_suc=None
+        )
+        with pytest.raises(ValueError):
+            snapshot_region(context, deployment, V_MAX)
+
+    def test_mbr_contains_region(self, deployment):
+        context = SnapshotContext(
+            object_id="o",
+            t=23.0,
+            rd_pre=TrackingRecord(0, "o", "a", 5.0, 10.0),
+            rd_cov=None,
+            rd_suc=TrackingRecord(1, "o", "b", 36.0, 40.0),
+        )
+        region = snapshot_region(context, deployment, V_MAX)
+        box = snapshot_mbr(context, deployment, V_MAX)
+        assert box is not None
+        for x in range(-10, 45):
+            for y in range(0, 11):
+                p = Point(float(x), float(y))
+                if region.contains(p):
+                    assert box.contains_point(p, tolerance=1e-6)
+
+
+class TestValidation:
+    def test_rejects_non_positive_vmax(self, deployment):
+        with pytest.raises(ValueError):
+            snapshot_region(active_context(), deployment, 0.0)

@@ -1,0 +1,145 @@
+"""Tests for tracking-state resolution (paper, Section 3.1.1 and Table 3)."""
+
+import pytest
+
+from repro.core import (
+    TrackingState,
+    interval_contexts,
+    snapshot_context,
+    snapshot_contexts,
+)
+from repro.index import ARTree
+from repro.tracking import ObjectTrackingTable, TrackingRecord
+
+
+def build(records):
+    ott = ObjectTrackingTable(records).freeze()
+    return ott, ARTree.build(ott)
+
+
+@pytest.fixture()
+def figure1_setup():
+    """The paper's Figure 1: records with gaps, active at t15, inactive at t19."""
+    return build(
+        [
+            TrackingRecord(0, "o", "d1", 10.0, 20.0),
+            TrackingRecord(1, "o", "d2", 30.0, 40.0),
+            TrackingRecord(2, "o", "d3", 55.0, 60.0),
+        ]
+    )
+
+
+class TestSnapshotStates:
+    def test_active_state(self, figure1_setup):
+        _, tree = figure1_setup
+        (context,) = snapshot_contexts(tree, 35.0)
+        assert context.state is TrackingState.ACTIVE
+        assert context.rd_cov.record_id == 1
+        assert context.rd_pre.record_id == 0
+        assert context.rd_suc is None
+
+    def test_inactive_state(self, figure1_setup):
+        _, tree = figure1_setup
+        (context,) = snapshot_contexts(tree, 45.0)
+        assert context.state is TrackingState.INACTIVE
+        assert context.rd_cov is None
+        assert context.rd_pre.record_id == 1
+        assert context.rd_suc.record_id == 2
+
+    def test_first_record_has_no_predecessor(self, figure1_setup):
+        _, tree = figure1_setup
+        (context,) = snapshot_contexts(tree, 15.0)
+        assert context.state is TrackingState.ACTIVE
+        assert context.rd_cov.record_id == 0
+        assert context.rd_pre is None
+
+    def test_untrackable_times_are_skipped(self, figure1_setup):
+        _, tree = figure1_setup
+        assert snapshot_contexts(tree, 5.0) == []  # before first record
+        assert snapshot_contexts(tree, 70.0) == []  # after last record
+
+    def test_boundary_time_at_record_end_is_active(self, figure1_setup):
+        _, tree = figure1_setup
+        (context,) = snapshot_contexts(tree, 20.0)
+        assert context.state is TrackingState.ACTIVE
+        assert context.rd_cov.record_id == 0
+
+    def test_multiple_objects(self):
+        _, tree = build(
+            [
+                TrackingRecord(0, "a", "d1", 0.0, 10.0),
+                TrackingRecord(1, "b", "d2", 5.0, 15.0),
+            ]
+        )
+        contexts = {c.object_id: c for c in snapshot_contexts(tree, 7.0)}
+        assert set(contexts) == {"a", "b"}
+        assert contexts["a"].state is TrackingState.ACTIVE
+
+
+class TestIntervalChains:
+    """The four cases of the paper's Table 3."""
+
+    def get(self, tree, t_start, t_end):
+        contexts = interval_contexts(tree, t_start, t_end)
+        assert len(contexts) == 1
+        return contexts[0]
+
+    def test_case1_active_active(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 35.0, 57.0)
+        # rd_s = rd_cov(t_s) = record 1, rd_e = rd_cov(t_e) = record 2.
+        assert [r.record_id for r in context.records] == [1, 2]
+        assert context.state_at(35.0) is TrackingState.ACTIVE
+        assert context.state_at(57.0) is TrackingState.ACTIVE
+
+    def test_case2_inactive_then_active(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 25.0, 35.0)
+        # rd_s = rd_pre(t_s) = record 0, rd_e = rd_cov(t_e) = record 1.
+        assert [r.record_id for r in context.records] == [0, 1]
+        assert context.state_at(25.0) is TrackingState.INACTIVE
+
+    def test_case3_active_then_inactive(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 35.0, 45.0)
+        # rd_s = rd_cov(t_s) = record 1, rd_e = rd_suc(t_e) = record 2.
+        assert [r.record_id for r in context.records] == [1, 2]
+        assert context.state_at(45.0) is TrackingState.INACTIVE
+
+    def test_case4_inactive_inactive(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 25.0, 45.0)
+        # rd_s = rd_pre(t_s) = 0, in-between = 1, rd_e = rd_suc(t_e) = 2.
+        assert [r.record_id for r in context.records] == [0, 1, 2]
+
+    def test_window_within_single_record(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 32.0, 38.0)
+        assert [r.record_id for r in context.records] == [1]
+
+    def test_window_within_single_gap(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 43.0, 50.0)
+        assert [r.record_id for r in context.records] == [1, 2]
+
+    def test_window_before_first_record(self, figure1_setup):
+        """Window starting before tracking began: no spurious predecessor."""
+        _, tree = figure1_setup
+        context = self.get(tree, 5.0, 15.0)
+        assert context.records[0].record_id == 0
+
+    def test_records_sorted_in_time(self, figure1_setup):
+        _, tree = figure1_setup
+        context = self.get(tree, 5.0, 60.0)
+        starts = [r.t_s for r in context.records]
+        assert starts == sorted(starts)
+
+    def test_irrelevant_objects_excluded(self):
+        _, tree = build(
+            [
+                TrackingRecord(0, "a", "d1", 0.0, 10.0),
+                TrackingRecord(1, "b", "d2", 100.0, 110.0),
+            ]
+        )
+        contexts = interval_contexts(tree, 0.0, 20.0)
+        assert [c.object_id for c in contexts] == ["a"]

@@ -1,0 +1,79 @@
+"""Tests for workload configurations."""
+
+import pytest
+
+from repro.datagen import (
+    PAPER_DETECTION_RANGES,
+    PAPER_K_VALUES,
+    PAPER_OBJECT_COUNTS,
+    PAPER_POI_PERCENTAGES,
+    PAPER_WINDOW_MINUTES,
+    TOTAL_POIS,
+    CphConfig,
+    SyntheticConfig,
+)
+
+
+class TestPaperConstants:
+    """The sweeps must match the paper's Table 4."""
+
+    def test_object_counts(self):
+        assert PAPER_OBJECT_COUNTS == (1000, 2000, 3000, 4000, 5000)
+
+    def test_detection_ranges(self):
+        assert PAPER_DETECTION_RANGES == (1.0, 1.5, 2.0, 2.5)
+
+    def test_poi_percentages(self):
+        assert PAPER_POI_PERCENTAGES == (20, 40, 60, 80, 100)
+
+    def test_k_range(self):
+        assert min(PAPER_K_VALUES) == 1
+        assert max(PAPER_K_VALUES) == 50
+
+    def test_window_minutes(self):
+        assert min(PAPER_WINDOW_MINUTES) == 1
+        assert max(PAPER_WINDOW_MINUTES) == 60
+
+    def test_total_pois(self):
+        assert TOTAL_POIS == 75
+
+
+class TestSyntheticConfig:
+    def test_defaults_match_paper(self):
+        config = SyntheticConfig()
+        assert config.num_objects == 1000
+        assert config.detection_range == 1.5
+        assert config.poi_count == 75
+
+    def test_vmax_equals_speed(self):
+        config = SyntheticConfig(speed=1.3)
+        assert config.v_max == 1.3
+
+    def test_scaled(self):
+        config = SyntheticConfig(num_objects=1000).scaled(0.1)
+        assert config.num_objects == 100
+
+    def test_scaled_at_least_one(self):
+        assert SyntheticConfig(num_objects=10).scaled(0.001).num_objects == 1
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            SyntheticConfig().scaled(0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            SyntheticConfig().num_objects = 5
+
+
+class TestCphConfig:
+    def test_paper_sized(self):
+        config = CphConfig().paper_sized()
+        assert config.num_passengers == 10_000
+        assert config.horizon == 7 * 24 * 3600.0
+
+    def test_scaled(self):
+        assert CphConfig(num_passengers=1000).scaled(0.25).num_passengers == 250
+
+    def test_scaled_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            CphConfig().scaled(-1.0)

@@ -1,0 +1,98 @@
+"""Tests for the synthetic data generator."""
+
+import pytest
+
+from repro.datagen import SyntheticConfig, build_synthetic_dataset
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return build_synthetic_dataset(
+        SyntheticConfig(num_objects=10, duration=600.0, rooms_per_side=4, seed=1)
+    )
+
+
+class TestBuild:
+    def test_all_objects_tracked(self, tiny):
+        assert tiny.ott.object_count == 10
+        assert len(tiny.trajectories) == 10
+
+    def test_poi_count(self, tiny):
+        assert len(tiny.pois) == 75
+
+    def test_pois_inside_plan(self, tiny):
+        for poi in tiny.pois:
+            room = tiny.floorplan.room(poi.room_id)
+            assert room.polygon.mbr.contains_mbr(poi.polygon.mbr)
+
+    def test_vmax_equals_speed(self, tiny):
+        assert tiny.v_max == SyntheticConfig().speed
+
+    def test_deterministic(self):
+        config = SyntheticConfig(
+            num_objects=5, duration=300.0, rooms_per_side=4, seed=9
+        )
+        a = build_synthetic_dataset(config)
+        b = build_synthetic_dataset(config)
+        assert [(r.object_id, r.device_id, r.t_s, r.t_e) for r in a.ott] == [
+            (r.object_id, r.device_id, r.t_s, r.t_e) for r in b.ott
+        ]
+
+    def test_detection_range_respected(self):
+        config = SyntheticConfig(
+            num_objects=3, duration=300.0, rooms_per_side=4, detection_range=2.5
+        )
+        dataset = build_synthetic_dataset(config)
+        assert all(device.radius == 2.5 for device in dataset.deployment)
+
+    def test_same_movement_across_detection_ranges(self):
+        """The detection range changes what readers see, not how objects move."""
+        base = dict(num_objects=3, duration=300.0, rooms_per_side=4, seed=5)
+        small = build_synthetic_dataset(SyntheticConfig(detection_range=1.0, **base))
+        large = build_synthetic_dataset(SyntheticConfig(detection_range=2.0, **base))
+        t = 150.0
+        for i in range(3):
+            assert small.trajectory_of(f"o{i}").position_at(t) == large.trajectory_of(
+                f"o{i}"
+            ).position_at(t)
+
+    def test_larger_range_more_records_or_equal_density(self):
+        base = dict(num_objects=8, duration=600.0, rooms_per_side=4, seed=5)
+        small = build_synthetic_dataset(SyntheticConfig(detection_range=1.0, **base))
+        large = build_synthetic_dataset(SyntheticConfig(detection_range=2.5, **base))
+        # Larger ranges see objects longer; the total covered time grows.
+        covered_small = sum(r.duration for r in small.ott)
+        covered_large = sum(r.duration for r in large.ott)
+        assert covered_large > covered_small
+
+
+class TestDatasetHelpers:
+    def test_time_span_and_mid_time(self, tiny):
+        start, end = tiny.time_span()
+        assert start < tiny.mid_time() < end
+
+    def test_window_clipped_to_span(self, tiny):
+        start, end = tiny.window(10_000)
+        span = tiny.time_span()
+        assert start >= span[0]
+        assert end <= span[1]
+
+    def test_poi_subset_sizes(self, tiny):
+        assert len(tiny.poi_subset(20)) == 15
+        assert len(tiny.poi_subset(100)) == 75
+
+    def test_poi_subset_deterministic(self, tiny):
+        a = [poi.poi_id for poi in tiny.poi_subset(40, seed=4)]
+        b = [poi.poi_id for poi in tiny.poi_subset(40, seed=4)]
+        assert a == b
+
+    def test_poi_subset_validation(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.poi_subset(0)
+        with pytest.raises(ValueError):
+            tiny.poi_subset(150)
+
+    def test_trajectory_of(self, tiny):
+        assert tiny.trajectory_of("o0").object_id == "o0"
+        with pytest.raises(KeyError):
+            tiny.trajectory_of("ghost")

@@ -1,0 +1,102 @@
+"""Unit and property tests for :mod:`repro.geometry.point`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, finite, finite)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert Point(1.0, 2.0) + Point(3.0, -1.0) == Point(4.0, 1.0)
+
+    def test_sub(self):
+        assert Point(1.0, 2.0) - Point(3.0, -1.0) == Point(-2.0, 3.0)
+
+    def test_scalar_multiplication_both_sides(self):
+        assert Point(1.0, -2.0) * 3.0 == Point(3.0, -6.0)
+        assert 3.0 * Point(1.0, -2.0) == Point(3.0, -6.0)
+
+    def test_iteration_unpacks_coordinates(self):
+        x, y = Point(5.0, 7.0)
+        assert (x, y) == (5.0, 7.0)
+
+    def test_dot_and_cross(self):
+        a, b = Point(1.0, 2.0), Point(3.0, 4.0)
+        assert a.dot(b) == 11.0
+        assert a.cross(b) == 4.0 - 6.0
+
+    def test_cross_is_antisymmetric(self):
+        a, b = Point(1.5, -2.0), Point(0.5, 4.0)
+        assert a.cross(b) == -b.cross(a)
+
+
+class TestDistances:
+    def test_pythagorean_triple(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == 5.0
+
+    def test_norm_matches_distance_from_origin(self):
+        p = Point(-3.0, 4.0)
+        assert p.norm() == Point(0.0, 0.0).distance_to(p)
+
+    def test_distance_to_self_is_zero(self):
+        p = Point(2.5, -1.5)
+        assert p.distance_to(p) == 0.0
+
+
+class TestInterpolation:
+    def test_midpoint(self):
+        assert Point(0.0, 0.0).midpoint(Point(4.0, 6.0)) == Point(2.0, 3.0)
+
+    def test_lerp_endpoints(self):
+        a, b = Point(1.0, 1.0), Point(5.0, -3.0)
+        assert a.lerp(b, 0.0) == a
+        assert a.lerp(b, 1.0) == b
+
+    def test_lerp_midway(self):
+        a, b = Point(0.0, 0.0), Point(2.0, 4.0)
+        assert a.lerp(b, 0.5) == Point(1.0, 2.0)
+
+
+class TestAlmostEqual:
+    def test_within_tolerance(self):
+        assert Point(1.0, 1.0).almost_equal(Point(1.0 + 1e-12, 1.0 - 1e-12))
+
+    def test_outside_tolerance(self):
+        assert not Point(1.0, 1.0).almost_equal(Point(1.001, 1.0))
+
+    def test_custom_tolerance(self):
+        assert Point(1.0, 1.0).almost_equal(Point(1.05, 1.0), tolerance=0.1)
+
+
+class TestProperties:
+    @given(points, points)
+    def test_distance_is_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        direct = a.distance_to(c)
+        through = a.distance_to(b) + b.distance_to(c)
+        assert direct <= through + 1e-6 * (1.0 + through)
+
+    @given(points, points)
+    def test_addition_then_subtraction_roundtrips(self, a, b):
+        result = (a + b) - b
+        assert result.almost_equal(a, tolerance=1e-6 * (1.0 + abs(a.x) + abs(b.x)))
+
+    @given(points, points, st.floats(min_value=0.0, max_value=1.0))
+    def test_lerp_stays_on_segment(self, a, b, f):
+        p = a.lerp(b, f)
+        length = a.distance_to(b)
+        assert a.distance_to(p) + p.distance_to(b) == pytest.approx(
+            length, abs=1e-6 * (1.0 + length)
+        )

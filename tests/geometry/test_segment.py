@@ -1,0 +1,140 @@
+"""Unit and property tests for :mod:`repro.geometry.segment`."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry import Point, Segment
+
+coordinate = st.floats(
+    min_value=-1e3, max_value=1e3, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coordinate, coordinate)
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5.0
+
+    def test_direction_is_unit(self):
+        d = Segment(Point(0, 0), Point(10, 0)).direction()
+        assert d == Point(1.0, 0.0)
+
+    def test_direction_of_degenerate_segment(self):
+        assert Segment(Point(1, 1), Point(1, 1)).direction() == Point(0.0, 0.0)
+
+    def test_point_at(self):
+        s = Segment(Point(0, 0), Point(4, 0))
+        assert s.point_at(0.25) == Point(1.0, 0.0)
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(2, 2)).midpoint() == Point(1.0, 1.0)
+
+
+class TestDistance:
+    def test_distance_to_point_on_segment(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 0)) == 0.0
+
+    def test_perpendicular_distance(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(5, 3)) == 3.0
+
+    def test_distance_clamps_to_endpoints(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.distance_to_point(Point(13, 4)) == 5.0
+        assert s.distance_to_point(Point(-3, 4)) == 5.0
+
+    def test_closest_point_interior(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        assert s.closest_point_to(Point(4, 7)) == Point(4.0, 0.0)
+
+    def test_degenerate_segment_distance(self):
+        s = Segment(Point(1, 1), Point(1, 1))
+        assert s.distance_to_point(Point(4, 5)) == 5.0
+
+
+class TestSegmentIntersection:
+    def test_crossing_segments(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        assert a.intersects_segment(b)
+
+    def test_parallel_disjoint(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(0, 1), Point(2, 1))
+        assert not a.intersects_segment(b)
+
+    def test_collinear_overlapping(self):
+        a = Segment(Point(0, 0), Point(4, 0))
+        b = Segment(Point(2, 0), Point(6, 0))
+        assert a.intersects_segment(b)
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(2, 0), Point(2, 5))
+        assert a.intersects_segment(b)
+
+    def test_t_shape_non_touching(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 1), Point(1, 3))
+        assert not a.intersects_segment(b)
+
+
+class TestCircleIntersection:
+    def test_full_crossing(self):
+        s = Segment(Point(-10, 0), Point(10, 0))
+        window = s.circle_intersection_fractions(Point(0, 0), 5.0)
+        assert window is not None
+        f_in, f_out = window
+        assert s.point_at(f_in).almost_equal(Point(-5.0, 0.0), tolerance=1e-6)
+        assert s.point_at(f_out).almost_equal(Point(5.0, 0.0), tolerance=1e-6)
+
+    def test_miss(self):
+        s = Segment(Point(-10, 10), Point(10, 10))
+        assert s.circle_intersection_fractions(Point(0, 0), 5.0) is None
+
+    def test_tangent(self):
+        s = Segment(Point(-10, 5), Point(10, 5))
+        window = s.circle_intersection_fractions(Point(0, 0), 5.0)
+        assert window is not None
+        f_in, f_out = window
+        assert f_in == pytest.approx(f_out, abs=1e-6)
+
+    def test_segment_fully_inside(self):
+        s = Segment(Point(-1, 0), Point(1, 0))
+        assert s.circle_intersection_fractions(Point(0, 0), 5.0) == (0.0, 1.0)
+
+    def test_starts_inside_exits(self):
+        s = Segment(Point(0, 0), Point(10, 0))
+        window = s.circle_intersection_fractions(Point(0, 0), 4.0)
+        assert window is not None
+        f_in, f_out = window
+        assert f_in == 0.0
+        assert f_out == pytest.approx(0.4)
+
+    def test_degenerate_segment_inside(self):
+        s = Segment(Point(1, 0), Point(1, 0))
+        assert s.circle_intersection_fractions(Point(0, 0), 2.0) == (0.0, 1.0)
+
+    def test_degenerate_segment_outside(self):
+        s = Segment(Point(9, 0), Point(9, 0))
+        assert s.circle_intersection_fractions(Point(0, 0), 2.0) is None
+
+    @given(points, points, points, st.floats(min_value=0.1, max_value=100.0))
+    def test_window_endpoints_lie_near_circle_or_segment_ends(
+        self, a, b, center, radius
+    ):
+        s = Segment(a, b)
+        window = s.circle_intersection_fractions(center, radius)
+        if window is None:
+            return
+        f_in, f_out = window
+        assert 0.0 <= f_in <= f_out <= 1.0
+        # Points inside the window are inside the circle (with tolerance
+        # scaled to the coordinates involved).
+        mid = s.point_at((f_in + f_out) / 2.0)
+        tolerance = 1e-6 * (1.0 + abs(center.x) + abs(center.y) + radius + s.length())
+        assert center.distance_to(mid) <= radius + tolerance

@@ -1,0 +1,61 @@
+"""Tests for the count-augmented aggregate R-tree."""
+
+import random
+
+import pytest
+
+from repro.geometry import Mbr
+from repro.index import AggregateRTree
+
+
+def random_items(count, seed=0):
+    rng = random.Random(seed)
+    items = []
+    for i in range(count):
+        x, y = rng.uniform(0, 100), rng.uniform(0, 100)
+        items.append((Mbr(x, y, x + rng.uniform(0.5, 8), y + rng.uniform(0.5, 8)), i))
+    return items
+
+
+def subtree_size(entry):
+    if entry.is_leaf_entry:
+        return 1
+    return sum(subtree_size(child) for child in entry.child.entries)
+
+
+class TestCounts:
+    @pytest.mark.parametrize("count", [1, 7, 64, 300])
+    def test_counts_match_subtree_sizes(self, count):
+        tree = AggregateRTree.build(random_items(count), max_entries=5)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            for entry in node.entries:
+                assert tree.count(entry) == subtree_size(entry)
+                if not entry.is_leaf_entry:
+                    stack.append(entry.child)
+
+    def test_root_counts_sum_to_total(self):
+        tree = AggregateRTree.build(random_items(200), max_entries=6)
+        total = sum(tree.count(entry) for entry in tree.root.entries)
+        assert total == 200
+
+    def test_leaf_entry_counts_one(self):
+        tree = AggregateRTree.build(random_items(3), max_entries=8)
+        for entry in tree.root.entries:
+            assert tree.count(entry) == 1
+
+    def test_counts_refresh_after_insert(self):
+        tree = AggregateRTree.build(random_items(50), max_entries=4)
+        before = sum(tree.count(entry) for entry in tree.root.entries)
+        tree.insert(Mbr(0, 0, 1, 1), "extra")
+        after = sum(tree.count(entry) for entry in tree.root.entries)
+        assert before == 50
+        assert after == 51
+
+    def test_search_still_works(self):
+        items = random_items(80, seed=4)
+        tree = AggregateRTree.build(items, max_entries=5)
+        probe = Mbr(10, 10, 40, 40)
+        expected = {name for box, name in items if box.intersects(probe)}
+        assert set(tree.search(probe)) == expected

@@ -1,0 +1,189 @@
+"""Tests for the AR-tree temporal index."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index import ARLeafEntry, ARTree
+from repro.tracking import ObjectTrackingTable, TrackingRecord
+
+
+def make_ott(records):
+    return ObjectTrackingTable(records).freeze()
+
+
+def simple_ott():
+    """Two objects, à la the paper's Table 2 / Figure 1."""
+    return make_ott(
+        [
+            TrackingRecord(0, "o1", "d1", 10.0, 20.0),
+            TrackingRecord(1, "o1", "d2", 30.0, 40.0),
+            TrackingRecord(2, "o1", "d3", 55.0, 60.0),
+            TrackingRecord(3, "o2", "d1", 5.0, 8.0),
+            TrackingRecord(4, "o2", "d4", 50.0, 70.0),
+        ]
+    )
+
+
+def brute_force_point(ott, t):
+    """Reference: augmented intervals covering t, from the raw OTT."""
+    results = []
+    for object_id in ott.object_ids:
+        previous = None
+        for record in ott.records_for(object_id):
+            t1 = previous.t_e if previous is not None else record.t_s
+            if (previous is None and t1 <= t <= record.t_e) or (
+                previous is not None and t1 < t <= record.t_e
+            ):
+                results.append(record.record_id)
+            previous = record
+    return sorted(results)
+
+
+class TestBuild:
+    def test_size_matches_record_count(self):
+        tree = ARTree.build(simple_ott())
+        assert len(tree) == 5
+
+    def test_empty_ott(self):
+        tree = ARTree.build(make_ott([]))
+        assert len(tree) == 0
+        assert tree.point_query(5.0) == []
+        assert tree.range_query(0.0, 100.0) == []
+
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            ARTree(fanout=1)
+
+
+class TestLeafEntrySemantics:
+    def test_first_record_interval_closed_at_start(self):
+        entry = ARLeafEntry(t1=10.0, t2=20.0, predecessor=None, record=None)
+        # With no predecessor, t1 itself is covered.
+        assert entry.covers(10.0)
+        assert entry.covers(20.0)
+        assert not entry.covers(9.99)
+
+    def test_with_predecessor_interval_open_at_start(self):
+        pre = TrackingRecord(0, "o", "d", 0.0, 10.0)
+        cur = TrackingRecord(1, "o", "d2", 15.0, 20.0)
+        entry = ARLeafEntry(t1=10.0, t2=20.0, predecessor=pre, record=cur)
+        assert not entry.covers(10.0)  # belongs to the predecessor's entry
+        assert entry.covers(10.01)
+        assert entry.covers(20.0)
+
+    def test_overlap(self):
+        pre = TrackingRecord(0, "o", "d", 0.0, 10.0)
+        cur = TrackingRecord(1, "o", "d2", 15.0, 20.0)
+        entry = ARLeafEntry(t1=10.0, t2=20.0, predecessor=pre, record=cur)
+        assert entry.overlaps(5.0, 12.0)
+        assert entry.overlaps(20.0, 30.0)
+        assert not entry.overlaps(21.0, 30.0)
+
+
+class TestPointQuery:
+    def test_active_time(self):
+        tree = ARTree.build(simple_ott())
+        entries = tree.point_query(15.0)
+        by_object = {entry.object_id: entry for entry in entries}
+        assert by_object["o1"].record.record_id == 0
+        assert by_object["o1"].record.covers(15.0)
+
+    def test_inactive_time_returns_gap_entry(self):
+        tree = ARTree.build(simple_ott())
+        entries = tree.point_query(25.0)
+        by_object = {entry.object_id: entry for entry in entries}
+        o1 = by_object["o1"]
+        assert not o1.record.covers(25.0)
+        assert o1.predecessor.record_id == 0
+        assert o1.record.record_id == 1
+
+    def test_before_first_record_not_covered(self):
+        tree = ARTree.build(simple_ott())
+        assert all(e.object_id != "o1" for e in tree.point_query(3.0))
+
+    def test_after_last_record_not_covered(self):
+        tree = ARTree.build(simple_ott())
+        assert tree.point_query(80.0) == []
+
+    @pytest.mark.parametrize("t", [5.0, 8.0, 10.0, 20.0, 25.0, 30.0, 55.0, 70.0])
+    def test_matches_brute_force(self, t):
+        ott = simple_ott()
+        tree = ARTree.build(ott)
+        got = sorted(entry.record.record_id for entry in tree.point_query(t))
+        assert got == brute_force_point(ott, t)
+
+
+class TestRangeQuery:
+    def test_returns_overlapping_chain(self):
+        tree = ARTree.build(simple_ott())
+        entries = [e for e in tree.range_query(25.0, 58.0) if e.object_id == "o1"]
+        record_ids = sorted(e.record.record_id for e in entries)
+        # Gap entry of rd1 (covers 25), rd1 itself, gap+rd2 (covers 55-58).
+        assert record_ids == [1, 2]
+
+    def test_rejects_inverted_window(self):
+        tree = ARTree.build(simple_ott())
+        with pytest.raises(ValueError):
+            tree.range_query(10.0, 5.0)
+
+    def test_window_spanning_everything(self):
+        tree = ARTree.build(simple_ott())
+        assert len(tree.range_query(0.0, 100.0)) == 5
+
+
+@st.composite
+def random_otts(draw):
+    object_count = draw(st.integers(min_value=1, max_value=5))
+    records = []
+    record_id = 0
+    for obj in range(object_count):
+        t = draw(st.floats(min_value=0.0, max_value=20.0))
+        for _ in range(draw(st.integers(min_value=1, max_value=8))):
+            start = t + draw(st.floats(min_value=0.01, max_value=10.0))
+            end = start + draw(st.floats(min_value=0.0, max_value=10.0))
+            records.append(
+                TrackingRecord(record_id, f"o{obj}", f"d{record_id % 3}", start, end)
+            )
+            record_id += 1
+            t = end
+    return make_ott(records)
+
+
+class TestProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(random_otts(), st.floats(min_value=0.0, max_value=120.0))
+    def test_point_query_matches_brute_force(self, ott, t):
+        tree = ARTree.build(ott, fanout=3)
+        got = sorted(entry.record.record_id for entry in tree.point_query(t))
+        assert got == brute_force_point(ott, t)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        random_otts(),
+        st.floats(min_value=0.0, max_value=100.0),
+        st.floats(min_value=0.0, max_value=30.0),
+    )
+    def test_range_query_superset_of_interior_point_queries(
+        self, ott, start, length
+    ):
+        end = start + length
+        tree = ARTree.build(ott, fanout=3)
+        window_ids = {
+            (e.object_id, e.record.record_id) for e in tree.range_query(start, end)
+        }
+        for t in (start, (start + end) / 2.0, end):
+            for entry in tree.point_query(t):
+                assert (entry.object_id, entry.record.record_id) in window_ids
+
+    @settings(max_examples=50, deadline=None)
+    @given(random_otts())
+    def test_at_most_one_entry_per_object_per_point(self, ott):
+        tree = ARTree.build(ott, fanout=3)
+        start, end = ott.time_span()
+        for t in (start, (start + end) / 2, end):
+            entries = tree.point_query(t)
+            objects = [e.object_id for e in entries]
+            assert len(objects) == len(set(objects))

@@ -1,0 +1,151 @@
+"""Unit and property tests for the R-tree."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Mbr, Point
+from repro.index import RTree
+
+
+def random_box(rng: random.Random, span: float = 100.0) -> Mbr:
+    x = rng.uniform(0, span)
+    y = rng.uniform(0, span)
+    return Mbr(x, y, x + rng.uniform(0.1, 10.0), y + rng.uniform(0.1, 10.0))
+
+
+def brute_force(items, probe):
+    return {name for box, name in items if box.intersects(probe)}
+
+
+class TestConstruction:
+    def test_rejects_tiny_fanout(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=1)
+
+    def test_rejects_bad_min_entries(self):
+        with pytest.raises(ValueError):
+            RTree(max_entries=8, min_entries=5)
+
+    def test_empty_tree(self):
+        tree = RTree()
+        assert len(tree) == 0
+        assert tree.search(Mbr(0, 0, 100, 100)) == []
+
+    def test_height_grows_with_inserts(self):
+        tree = RTree(max_entries=4)
+        for i in range(100):
+            tree.insert(Mbr(i, i, i + 1, i + 1), i)
+        assert tree.height > 1
+        assert len(tree) == 100
+
+
+class TestSearchCorrectness:
+    @pytest.mark.parametrize("builder", ["insert", "bulk"])
+    @pytest.mark.parametrize("count", [0, 1, 5, 63, 200])
+    def test_matches_brute_force(self, builder, count):
+        rng = random.Random(count)
+        items = [(random_box(rng), f"item{i}") for i in range(count)]
+        if builder == "insert":
+            tree = RTree(max_entries=6)
+            for box, name in items:
+                tree.insert(box, name)
+        else:
+            tree = RTree.bulk_load(items, max_entries=6)
+        assert len(tree) == count
+        for _ in range(25):
+            probe = random_box(rng, span=110.0)
+            assert set(tree.search(probe)) == brute_force(items, probe)
+
+    def test_point_probe(self):
+        tree = RTree(max_entries=4)
+        tree.insert(Mbr(0, 0, 10, 10), "a")
+        tree.insert(Mbr(20, 20, 30, 30), "b")
+        probe = Mbr.around(Point(5, 5), 0.0, 0.0)
+        assert tree.search(probe) == ["a"]
+
+    def test_items_returns_everything(self):
+        items = [(Mbr(i, 0, i + 1, 1), i) for i in range(50)]
+        tree = RTree.bulk_load(items, max_entries=4)
+        assert sorted(tree.items()) == list(range(50))
+
+
+class TestStructuralInvariants:
+    def _check_node(self, tree, node, is_root=True):
+        if not is_root:
+            assert len(node.entries) <= tree.max_entries
+        for entry in node.entries:
+            if node.is_leaf:
+                assert entry.is_leaf_entry
+            else:
+                assert not entry.is_leaf_entry
+                child_box = entry.child.mbr()
+                # Parent entry MBR covers the child's actual extent.
+                assert entry.mbr.contains_mbr(child_box)
+                self._check_node(tree, entry.child, is_root=False)
+
+    @pytest.mark.parametrize("builder", ["insert", "bulk"])
+    def test_mbr_containment_invariant(self, builder):
+        rng = random.Random(9)
+        items = [(random_box(rng), i) for i in range(150)]
+        if builder == "insert":
+            tree = RTree(max_entries=5)
+            for box, name in items:
+                tree.insert(box, name)
+        else:
+            tree = RTree.bulk_load(items, max_entries=5)
+        self._check_node(tree, tree.root)
+
+    def test_bulk_load_leaves_at_same_depth(self):
+        items = [(Mbr(i, 0, i + 1, 1), i) for i in range(100)]
+        tree = RTree.bulk_load(items, max_entries=4)
+
+        depths = set()
+
+        def walk(node, depth):
+            if node.is_leaf:
+                depths.add(depth)
+            else:
+                for entry in node.entries:
+                    walk(entry.child, depth + 1)
+
+        walk(tree.root, 0)
+        assert len(depths) == 1
+
+    def test_entry_validation(self):
+        from repro.index import RTreeEntry
+
+        with pytest.raises(ValueError):
+            RTreeEntry(Mbr(0, 0, 1, 1))  # neither item nor child
+
+
+@st.composite
+def item_sets(draw):
+    count = draw(st.integers(min_value=0, max_value=60))
+    items = []
+    for i in range(count):
+        x = draw(st.floats(min_value=0, max_value=100))
+        y = draw(st.floats(min_value=0, max_value=100))
+        w = draw(st.floats(min_value=0.0, max_value=10.0))
+        h = draw(st.floats(min_value=0.0, max_value=10.0))
+        items.append((Mbr(x, y, x + w, y + h), i))
+    return items
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(item_sets(), st.integers(min_value=0, max_value=1000))
+    def test_search_equals_brute_force(self, items, seed):
+        rng = random.Random(seed)
+        tree = RTree.bulk_load(items, max_entries=4)
+        probe = random_box(rng)
+        assert set(tree.search(probe)) == brute_force(items, probe)
+
+    @settings(max_examples=30, deadline=None)
+    @given(item_sets())
+    def test_full_probe_finds_everything(self, items):
+        tree = RTree.bulk_load(items, max_entries=4)
+        probe = Mbr(-1, -1, 200, 200)
+        assert sorted(tree.search(probe)) == sorted(i for _, i in items)

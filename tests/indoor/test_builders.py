@@ -1,0 +1,157 @@
+"""Tests for the floor-plan / deployment / POI builders."""
+
+import pytest
+
+from repro.geometry import Point
+from repro.indoor import (
+    DoorGraph,
+    airport_pier,
+    deploy_airport_devices,
+    deploy_office_devices,
+    office_building,
+    partition_rooms_into_pois,
+)
+
+
+class TestOfficeBuilding:
+    def test_room_count(self):
+        plan = office_building(rooms_per_side=5)
+        # 10 rooms + 1 hallway.
+        assert len(plan.rooms) == 11
+
+    def test_every_room_has_a_door_to_the_hallway(self):
+        plan = office_building(rooms_per_side=4)
+        for room in plan.rooms:
+            if room.kind == "hallway":
+                continue
+            doors = plan.doors_of_room(room.room_id)
+            assert len(doors) == 1
+            assert doors[0].other_room(room.room_id) == "H"
+
+    def test_connected(self):
+        assert DoorGraph(office_building(rooms_per_side=3)).is_connected()
+
+    def test_rejects_zero_rooms(self):
+        with pytest.raises(ValueError):
+            office_building(rooms_per_side=0)
+
+    def test_doors_on_shared_walls(self):
+        plan = office_building(rooms_per_side=3)
+        hallway = plan.room("H").polygon
+        for door in plan.doors:
+            # Every door sits on the hallway boundary.
+            assert any(
+                edge.distance_to_point(door.position) < 1e-6
+                for edge in hallway.edges()
+            )
+
+
+class TestOfficeDeployment:
+    @pytest.mark.parametrize("detection_range", [1.0, 1.5, 2.0, 2.5])
+    def test_non_overlapping_at_all_paper_ranges(self, detection_range):
+        plan = office_building(rooms_per_side=6)
+        deployment = deploy_office_devices(plan, detection_range=detection_range)
+        deployment.validate_non_overlapping()
+
+    def test_reader_at_every_door(self):
+        plan = office_building(rooms_per_side=4)
+        deployment = deploy_office_devices(plan, detection_range=1.5)
+        for door in plan.doors:
+            assert f"dev-{door.door_id}" in deployment
+
+    def test_hallway_readers_present(self):
+        plan = office_building(rooms_per_side=6)
+        deployment = deploy_office_devices(plan, detection_range=1.5)
+        hallway_devices = [d for d in deployment if str(d.device_id).startswith("dev-H")]
+        assert len(hallway_devices) >= 3
+
+    def test_hallway_spacing_controls_density(self):
+        plan = office_building(rooms_per_side=8)
+        dense = deploy_office_devices(plan, 1.0, hallway_spacing=12.0)
+        sparse = deploy_office_devices(plan, 1.0, hallway_spacing=36.0)
+        assert len(dense) > len(sparse)
+
+    def test_rejects_non_positive_range(self):
+        plan = office_building(rooms_per_side=2)
+        with pytest.raises(ValueError):
+            deploy_office_devices(plan, detection_range=0.0)
+
+
+class TestAirportPier:
+    def test_structure(self):
+        plan = airport_pier(num_shops=5, num_gates=4)
+        kinds = {room.kind for room in plan.rooms}
+        assert {"hall", "security", "hallway", "shop", "gate"} <= kinds
+        assert len(list(plan.iter_rooms(kind="shop"))) == 5
+        assert len(list(plan.iter_rooms(kind="gate"))) == 4
+
+    def test_connected(self):
+        assert DoorGraph(airport_pier()).is_connected()
+
+    def test_passenger_path_exists(self):
+        plan = airport_pier()
+        graph = DoorGraph(plan)
+        hall = plan.room("hall").polygon.centroid()
+        gate = plan.room("gate3").polygon.centroid()
+        assert graph.route(hall, gate) is not None
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            airport_pier(num_shops=0)
+
+
+class TestAirportDeployment:
+    def test_non_overlapping(self):
+        plan = airport_pier()
+        deploy_airport_devices(plan).validate_non_overlapping()
+
+    def test_sparser_than_office(self):
+        # Bluetooth coverage is partial: far fewer devices than rooms.
+        plan = airport_pier(num_shops=10, num_gates=10)
+        deployment = deploy_airport_devices(plan)
+        assert len(deployment) < len(plan.rooms)
+
+    def test_security_device_present(self):
+        deployment = deploy_airport_devices(airport_pier())
+        assert "bt-security" in deployment
+
+
+class TestPoiPartitioning:
+    def test_exact_count(self):
+        plan = office_building(rooms_per_side=6)
+        pois = partition_rooms_into_pois(plan, count=75)
+        assert len(pois) == 75
+
+    def test_unique_ids(self):
+        plan = office_building(rooms_per_side=6)
+        pois = partition_rooms_into_pois(plan, count=40)
+        assert len({poi.poi_id for poi in pois}) == 40
+
+    def test_pois_inside_their_rooms(self):
+        plan = office_building(rooms_per_side=5)
+        for poi in partition_rooms_into_pois(plan, count=30):
+            room = plan.room(poi.room_id)
+            for vertex in poi.polygon.vertices:
+                assert room.polygon.contains(vertex)
+
+    def test_deterministic_for_seed(self):
+        plan = office_building(rooms_per_side=4)
+        a = partition_rooms_into_pois(plan, count=20, seed=5)
+        b = partition_rooms_into_pois(plan, count=20, seed=5)
+        assert [p.polygon.mbr for p in a] == [p.polygon.mbr for p in b]
+
+    def test_different_areas(self):
+        plan = office_building(rooms_per_side=6)
+        pois = partition_rooms_into_pois(plan, count=75)
+        areas = {round(poi.area(), 3) for poi in pois}
+        assert len(areas) > 10  # "with different areas"
+
+    def test_rejects_zero_count(self):
+        plan = office_building(rooms_per_side=2)
+        with pytest.raises(ValueError):
+            partition_rooms_into_pois(plan, count=0)
+
+    def test_kind_filter(self):
+        plan = airport_pier()
+        pois = partition_rooms_into_pois(plan, count=20, kinds=("shop",))
+        assert all(poi.category == "shop" for poi in pois)

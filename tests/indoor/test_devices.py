@@ -1,0 +1,78 @@
+"""Tests for devices and deployments."""
+
+import pytest
+
+from repro.geometry import Circle, Mbr, Point
+from repro.indoor import Deployment, Device, thin_non_overlapping
+
+
+def dev(device_id, x, y, radius=1.0):
+    return Device.at(device_id, Point(x, y), radius)
+
+
+class TestDevice:
+    def test_at_constructor(self):
+        device = dev("d1", 1.0, 2.0, 3.0)
+        assert device.center == Point(1.0, 2.0)
+        assert device.radius == 3.0
+        assert device.range == Circle(Point(1.0, 2.0), 3.0)
+
+    def test_kind_default(self):
+        assert dev("d", 0, 0).kind == "rfid"
+
+
+class TestDeployment:
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment([dev("d", 0, 0), dev("d", 10, 10)])
+
+    def test_lookup(self):
+        deployment = Deployment([dev("a", 0, 0), dev("b", 10, 0)])
+        assert deployment.device("a").center == Point(0, 0)
+        assert "a" in deployment
+        assert "zzz" not in deployment
+        assert len(deployment) == 2
+
+    def test_devices_near(self):
+        deployment = Deployment([dev("a", 0, 0), dev("b", 50, 0)])
+        found = deployment.devices_near(Mbr(-2, -2, 2, 2))
+        assert [d.device_id for d in found] == ["a"]
+
+    def test_devices_covering(self):
+        deployment = Deployment([dev("a", 0, 0, 2.0), dev("b", 10, 0, 2.0)])
+        covering = deployment.devices_covering(Point(1.0, 0.0))
+        assert [d.device_id for d in covering] == ["a"]
+        assert deployment.devices_covering(Point(5.0, 0.0)) == []
+
+    def test_max_radius(self):
+        deployment = Deployment([dev("a", 0, 0, 1.0), dev("b", 10, 0, 2.5)])
+        assert deployment.max_radius == 2.5
+        assert Deployment([]).max_radius == 0.0
+
+    def test_validate_non_overlapping_passes_when_disjoint(self):
+        Deployment([dev("a", 0, 0), dev("b", 10, 0)]).validate_non_overlapping()
+
+    def test_validate_non_overlapping_rejects_overlap(self):
+        deployment = Deployment([dev("a", 0, 0, 2.0), dev("b", 3, 0, 2.0)])
+        with pytest.raises(ValueError):
+            deployment.validate_non_overlapping()
+
+
+class TestThinning:
+    def test_keeps_all_when_disjoint(self):
+        devices = [dev("a", 0, 0), dev("b", 10, 0), dev("c", 20, 0)]
+        assert thin_non_overlapping(devices) == devices
+
+    def test_drops_later_overlappers(self):
+        devices = [dev("a", 0, 0, 2.0), dev("b", 1, 0, 2.0), dev("c", 10, 0, 2.0)]
+        kept = [d.device_id for d in thin_non_overlapping(devices)]
+        assert kept == ["a", "c"]
+
+    def test_deterministic_prefix_preference(self):
+        devices = [dev("a", 0, 0, 3.0), dev("b", 4, 0, 3.0), dev("c", 8, 0, 3.0)]
+        kept = [d.device_id for d in thin_non_overlapping(devices)]
+        assert kept == ["a", "c"]
+
+    def test_result_is_valid_deployment(self):
+        devices = [dev(f"d{i}", i * 1.5, 0, 1.0) for i in range(20)]
+        Deployment(thin_non_overlapping(devices)).validate_non_overlapping()

@@ -1,0 +1,139 @@
+"""Tests for floor plans, rooms and doors."""
+
+import pytest
+
+from repro.geometry import Mbr, Point, Polygon
+from repro.indoor import Door, FloorPlan, Room
+
+
+def two_room_plan():
+    rooms = [
+        Room("a", Polygon.rectangle(0, 0, 10, 10)),
+        Room("b", Polygon.rectangle(10, 0, 20, 10)),
+    ]
+    doors = [Door("d", Point(10, 5), "a", "b")]
+    return FloorPlan(rooms, doors)
+
+
+class TestRoom:
+    def test_rejects_non_convex_room(self):
+        l_shape = Polygon(
+            [
+                Point(0, 0),
+                Point(2, 0),
+                Point(2, 1),
+                Point(1, 1),
+                Point(1, 2),
+                Point(0, 2),
+            ]
+        )
+        with pytest.raises(ValueError):
+            Room("bad", l_shape)
+
+    def test_room_kinds(self):
+        room = Room("h", Polygon.rectangle(0, 0, 5, 1), kind="hallway")
+        assert room.kind == "hallway"
+
+
+class TestDoor:
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            Door("d", Point(0, 0), "a", "a")
+
+    def test_connects_and_other_room(self):
+        door = Door("d", Point(1, 0), "a", "b")
+        assert door.connects("a")
+        assert door.connects("b")
+        assert not door.connects("c")
+        assert door.other_room("a") == "b"
+        assert door.other_room("b") == "a"
+        with pytest.raises(KeyError):
+            door.other_room("c")
+
+
+class TestFloorPlanValidation:
+    def test_rejects_duplicate_room_ids(self):
+        rooms = [
+            Room("a", Polygon.rectangle(0, 0, 1, 1)),
+            Room("a", Polygon.rectangle(2, 0, 3, 1)),
+        ]
+        with pytest.raises(ValueError):
+            FloorPlan(rooms, [])
+
+    def test_rejects_unknown_door_room(self):
+        rooms = [Room("a", Polygon.rectangle(0, 0, 1, 1))]
+        with pytest.raises(ValueError):
+            FloorPlan(rooms, [Door("d", Point(1, 0.5), "a", "ghost")])
+
+    def test_rejects_door_off_boundary(self):
+        rooms = [
+            Room("a", Polygon.rectangle(0, 0, 10, 10)),
+            Room("b", Polygon.rectangle(10, 0, 20, 10)),
+        ]
+        with pytest.raises(ValueError):
+            FloorPlan(rooms, [Door("d", Point(5, 5), "a", "b")])
+
+    def test_rejects_empty_plan(self):
+        with pytest.raises(ValueError):
+            FloorPlan([], [])
+
+    def test_rejects_duplicate_door_ids(self):
+        rooms = [
+            Room("a", Polygon.rectangle(0, 0, 10, 10)),
+            Room("b", Polygon.rectangle(10, 0, 20, 10)),
+        ]
+        doors = [
+            Door("d", Point(10, 5), "a", "b"),
+            Door("d", Point(10, 7), "a", "b"),
+        ]
+        with pytest.raises(ValueError):
+            FloorPlan(rooms, doors)
+
+
+class TestLookups:
+    def test_room_and_door_access(self):
+        plan = two_room_plan()
+        assert plan.room("a").room_id == "a"
+        assert plan.door("d").door_id == "d"
+        assert "a" in plan
+        assert "zzz" not in plan
+
+    def test_doors_of_room(self):
+        plan = two_room_plan()
+        assert [d.door_id for d in plan.doors_of_room("a")] == ["d"]
+        assert [d.door_id for d in plan.doors_of_room("b")] == ["d"]
+
+    def test_bounds(self):
+        assert two_room_plan().bounds == Mbr(0, 0, 20, 10)
+
+    def test_room_at_interior_point(self):
+        plan = two_room_plan()
+        assert plan.room_at(Point(5, 5)).room_id == "a"
+        assert plan.room_at(Point(15, 5)).room_id == "b"
+
+    def test_rooms_at_shared_wall(self):
+        plan = two_room_plan()
+        rooms = {room.room_id for room in plan.rooms_at(Point(10, 5))}
+        assert rooms == {"a", "b"}
+
+    def test_room_at_outside_is_none(self):
+        assert two_room_plan().room_at(Point(100, 100)) is None
+
+    def test_contains_point(self):
+        plan = two_room_plan()
+        assert plan.contains_point(Point(1, 1))
+        assert not plan.contains_point(Point(-5, 0.5))
+
+    def test_iter_rooms_by_kind(self):
+        rooms = [
+            Room("a", Polygon.rectangle(0, 0, 10, 10), kind="shop"),
+            Room("b", Polygon.rectangle(10, 0, 20, 10), kind="gate"),
+        ]
+        plan = FloorPlan(rooms, [Door("d", Point(10, 5), "a", "b")])
+        assert [r.room_id for r in plan.iter_rooms(kind="shop")] == ["a"]
+        assert len(list(plan.iter_rooms())) == 2
+
+    def test_rooms_intersecting(self):
+        plan = two_room_plan()
+        found = {r.room_id for r in plan.rooms_intersecting(Mbr(0, 0, 5, 5))}
+        assert found == {"a"}

@@ -1,0 +1,99 @@
+"""Round-trip tests for the indoor model JSON I/O."""
+
+import json
+
+import pytest
+
+from repro.indoor import (
+    deploy_office_devices,
+    indoor_model_from_dict,
+    indoor_model_to_dict,
+    load_indoor_model,
+    office_building,
+    partition_rooms_into_pois,
+    save_indoor_model,
+)
+
+
+@pytest.fixture(scope="module")
+def model():
+    plan = office_building(rooms_per_side=3)
+    deployment = deploy_office_devices(plan, detection_range=1.5)
+    pois = partition_rooms_into_pois(plan, count=12, seed=2)
+    return plan, deployment, pois
+
+
+class TestRoundTrip:
+    def test_full_model(self, tmp_path, model):
+        plan, deployment, pois = model
+        path = tmp_path / "model.json"
+        save_indoor_model(path, plan, deployment, pois)
+        loaded_plan, loaded_deployment, loaded_pois = load_indoor_model(path)
+
+        assert {r.room_id for r in loaded_plan.rooms} == {
+            r.room_id for r in plan.rooms
+        }
+        assert {d.door_id for d in loaded_plan.doors} == {
+            d.door_id for d in plan.doors
+        }
+        assert len(loaded_deployment) == len(deployment)
+        assert [p.poi_id for p in loaded_pois] == [p.poi_id for p in pois]
+
+    def test_geometry_preserved(self, tmp_path, model):
+        plan, deployment, pois = model
+        path = tmp_path / "model.json"
+        save_indoor_model(path, plan, deployment, pois)
+        loaded_plan, loaded_deployment, loaded_pois = load_indoor_model(path)
+        for room in plan.rooms:
+            loaded = loaded_plan.room(room.room_id)
+            assert loaded.polygon.vertices == room.polygon.vertices
+            assert loaded.kind == room.kind
+        for device in deployment:
+            loaded = loaded_deployment.device(device.device_id)
+            assert loaded.center == device.center
+            assert loaded.radius == device.radius
+        for original, loaded in zip(pois, loaded_pois):
+            assert loaded.polygon.vertices == original.polygon.vertices
+            assert loaded.room_id == original.room_id
+
+    def test_partial_model(self, tmp_path, model):
+        plan, _, _ = model
+        path = tmp_path / "plan_only.json"
+        save_indoor_model(path, floorplan=plan)
+        loaded_plan, loaded_deployment, loaded_pois = load_indoor_model(path)
+        assert loaded_plan is not None
+        assert loaded_deployment is None
+        assert loaded_pois is None
+
+    def test_loaded_model_is_fully_functional(self, tmp_path, model):
+        """The loaded model supports routing and queries, not just equality."""
+        from repro.indoor import DoorGraph
+
+        plan, deployment, pois = model
+        path = tmp_path / "model.json"
+        save_indoor_model(path, plan, deployment, pois)
+        loaded_plan, loaded_deployment, _ = load_indoor_model(path)
+        assert DoorGraph(loaded_plan).is_connected()
+        loaded_deployment.validate_non_overlapping()
+
+
+class TestValidation:
+    def test_unknown_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            indoor_model_from_dict({"schema": "something/else"})
+
+    def test_missing_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            indoor_model_from_dict({})
+
+    def test_dict_is_json_serialisable(self, model):
+        plan, deployment, pois = model
+        payload = indoor_model_to_dict(plan, deployment, pois)
+        json.dumps(payload)  # must not raise
+
+    def test_corrupt_geometry_rejected(self, tmp_path, model):
+        plan, _, _ = model
+        payload = indoor_model_to_dict(floorplan=plan)
+        payload["rooms"][0]["vertices"] = [[0, 0], [1, 1]]  # not a polygon
+        with pytest.raises(ValueError):
+            indoor_model_from_dict(payload)

@@ -1,0 +1,192 @@
+"""Tests for the multi-floor extension."""
+
+import pytest
+
+from repro.core import FlowEngine, snapshot_contexts, snapshot_region
+from repro.geometry import Point, Polygon
+from repro.indoor import (
+    DoorGraph,
+    IndoorDistanceOracle,
+    deploy_multi_storey_devices,
+    multi_storey_office,
+    partition_rooms_into_pois,
+    stack_floorplans,
+    office_building,
+)
+from repro.tracking import simulate_random_waypoint
+
+
+@pytest.fixture(scope="module")
+def building():
+    return multi_storey_office(levels=3, rooms_per_side=6, stair_count=2)
+
+
+@pytest.fixture(scope="module")
+def deployment(building):
+    return deploy_multi_storey_devices(building)
+
+
+class TestConstruction:
+    def test_room_count(self, building):
+        # 3 floors x (12 rooms + hallway) + 2 gaps x 2 stairwells.
+        assert len(building.rooms) == 3 * 13 + 4
+
+    def test_levels_assigned(self, building):
+        assert {room.level for room in building.rooms} == {0, 1, 2}
+
+    def test_connected_across_floors(self, building):
+        assert DoorGraph(building).is_connected()
+
+    def test_floor_bands_disjoint(self, building):
+        floors: dict[int, list] = {}
+        for room in building.rooms:
+            if room.kind != "stairwell":
+                floors.setdefault(room.level, []).append(room.polygon.mbr)
+        for level_a, boxes_a in floors.items():
+            for level_b, boxes_b in floors.items():
+                if level_a >= level_b:
+                    continue
+                for box_a in boxes_a:
+                    for box_b in boxes_b:
+                        assert not box_a.intersects(box_b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            multi_storey_office(levels=0)
+        with pytest.raises(ValueError):
+            multi_storey_office(levels=2, stair_count=0)
+        with pytest.raises(ValueError):
+            stack_floorplans(
+                [office_building(2), office_building(2)],
+                stair_positions=[12.0],
+                stair_length=20.0,
+                gap=10.0,  # gap shorter than the stairs
+            )
+
+    def test_single_floor_degenerates(self):
+        building = multi_storey_office(levels=1, rooms_per_side=3)
+        assert {room.level for room in building.rooms} == {0}
+        assert not [r for r in building.rooms if r.kind == "stairwell"]
+
+    def test_bad_stair_position_rejected(self):
+        with pytest.raises(ValueError, match="stair positions"):
+            stack_floorplans(
+                [office_building(2), office_building(2)],
+                stair_positions=[-100.0],
+            )
+
+
+class TestDistancesAcrossFloors:
+    def test_cross_floor_distance_goes_through_stairs(self, building):
+        oracle = IndoorDistanceOracle(building)
+        start = building.room("F0:H").polygon.centroid()
+        goal = building.room("F1:H").polygon.centroid()
+        walk = oracle.distance(start, goal)
+        direct = start.distance_to(goal)
+        assert walk > direct  # must detour via a stairwell
+        assert walk < float("inf")
+
+    def test_stairwell_length_respected(self, building):
+        oracle = IndoorDistanceOracle(building)
+        # Between the two ends of one stairwell: at least the stair length.
+        stairwell = next(r for r in building.rooms if r.kind == "stairwell")
+        box = stairwell.polygon.mbr
+        low = Point(box.center.x, box.min_y)
+        high = Point(box.center.x, box.max_y)
+        assert oracle.distance(low, high) == pytest.approx(box.height)
+        assert box.height >= 12.0
+
+
+class TestMovementAcrossFloors:
+    @pytest.fixture(scope="class")
+    def simulation(self, building, deployment):
+        return simulate_random_waypoint(
+            building, deployment, num_objects=12, duration=900.0, seed=5
+        )
+
+    def test_objects_visit_multiple_levels(self, building, simulation):
+        levels = set()
+        for trajectory in simulation.trajectories:
+            for t in trajectory.sample_times(0.0, 900.0, 30.0):
+                room = building.room_at(trajectory.position_at(t))
+                if room is not None:
+                    levels.add(room.level)
+        assert levels == {0, 1, 2}
+
+    def test_stairwell_devices_report(self, building, deployment, simulation):
+        stair_devices = {
+            f"dev-{door.door_id}"
+            for door in building.doors
+            if door.door_id.startswith("D-S")
+        }
+        seen = {record.device_id for record in simulation.ott}
+        assert seen & stair_devices
+
+    def test_queries_across_floors(self, building, deployment, simulation):
+        pois = partition_rooms_into_pois(building, count=30, seed=3)
+        engine = FlowEngine(
+            building, deployment, simulation.ott, pois, v_max=1.1,
+            detection_slack=2.0,  # the simulation samples at 1 Hz
+        )
+        start, end = simulation.ott.time_span()
+        t = (start + end) / 2.0
+        iterative = engine.snapshot_topk(t, 5, method="iterative")
+        join = engine.snapshot_topk(t, 5, method="join")
+        assert sorted(iterative.flows, reverse=True) == pytest.approx(
+            sorted(join.flows, reverse=True), abs=1e-6
+        )
+
+    def test_soundness_in_multi_floor_building(
+        self, building, deployment, simulation
+    ):
+        pois = partition_rooms_into_pois(building, count=10, seed=3)
+        engine = FlowEngine(
+            building, deployment, simulation.ott, pois, v_max=1.1,
+            detection_slack=2.0,  # the simulation samples at 1 Hz
+        )
+        start, end = simulation.ott.time_span()
+        checked = 0
+        for fraction in (0.3, 0.6, 0.9):
+            t = start + fraction * (end - start)
+            for context in snapshot_contexts(engine.artree, t):
+                region = snapshot_region(
+                    context,
+                    engine.deployment,
+                    engine.v_max,
+                    engine.topology,
+                    engine.inner_allowance,
+                )
+                truth = simulation.trajectory_of(context.object_id).position_at(t)
+                assert region.contains(truth)
+                checked += 1
+        assert checked > 10
+
+
+class TestTopologyCheckAcrossFloors:
+    def test_other_floor_reachable_only_via_stairs_in_time(self, building):
+        from repro.core import TopologyChecker
+        from repro.indoor import Device
+
+        oracle = IndoorDistanceOracle(building)
+        checker = TopologyChecker(oracle)
+        # A device in the stairwell's lower room on floor 0.
+        stair_door = next(
+            d for d in building.doors if d.door_id.endswith("-low")
+        )
+        device = Device.at("probe", stair_door.position, 1.0)
+        stairwell_id = (
+            stair_door.room_a
+            if building.room(stair_door.room_a).kind == "stairwell"
+            else stair_door.room_b
+        )
+        stairwell = building.room(stairwell_id)
+        upper_exit = Point(
+            stairwell.polygon.mbr.center.x, stairwell.polygon.mbr.max_y
+        )
+        stair_length = stairwell.polygon.mbr.height
+        # Budget just over the stairs: the upper exit is reachable...
+        generous = checker.ring_constraint(device, budget=stair_length + 3.0)
+        assert generous.contains(upper_exit)
+        # ...but with half the budget it is not.
+        tight = checker.ring_constraint(device, budget=stair_length / 2.0)
+        assert not tight.contains(upper_exit)

@@ -1,0 +1,46 @@
+"""Tests for POIs and the POI R-tree."""
+
+from repro.geometry import Mbr, Polygon
+from repro.indoor import Poi, build_poi_index
+
+
+def make_poi(i, x):
+    return Poi(
+        poi_id=f"p{i}",
+        polygon=Polygon.rectangle(x, 0, x + 2, 2),
+        room_id="r",
+        name=f"poi {i}",
+    )
+
+
+class TestPoi:
+    def test_area(self):
+        assert make_poi(0, 0).area() == 4.0
+
+    def test_fields(self):
+        poi = Poi(
+            poi_id="p",
+            polygon=Polygon.rectangle(0, 0, 1, 1),
+            room_id="r1",
+            name="espresso bar",
+            category="shop",
+        )
+        assert poi.room_id == "r1"
+        assert poi.category == "shop"
+
+
+class TestPoiIndex:
+    def test_indexes_all(self):
+        pois = [make_poi(i, i * 5) for i in range(20)]
+        tree = build_poi_index(pois)
+        assert len(tree) == 20
+
+    def test_spatial_lookup(self):
+        pois = [make_poi(i, i * 5) for i in range(20)]
+        tree = build_poi_index(pois)
+        found = tree.search(Mbr(0, 0, 6, 2))
+        assert {poi.poi_id for poi in found} == {"p0", "p1"}
+
+    def test_empty(self):
+        tree = build_poi_index([])
+        assert tree.search(Mbr(0, 0, 100, 100)) == []

@@ -1,0 +1,115 @@
+"""Tests for the door graph (routing + connectivity)."""
+
+import pytest
+
+from repro.geometry import Point, Polygon
+from repro.indoor import Door, DoorGraph, FloorPlan, Room
+
+
+def corridor_plan():
+    """Three rooms in a row: a - b - c, doors on shared walls."""
+    rooms = [
+        Room("a", Polygon.rectangle(0, 0, 10, 10)),
+        Room("b", Polygon.rectangle(10, 0, 20, 10)),
+        Room("c", Polygon.rectangle(20, 0, 30, 10)),
+    ]
+    doors = [
+        Door("ab", Point(10, 5), "a", "b"),
+        Door("bc", Point(20, 5), "b", "c"),
+    ]
+    return FloorPlan(rooms, doors)
+
+
+def disconnected_plan():
+    rooms = [
+        Room("a", Polygon.rectangle(0, 0, 10, 10)),
+        Room("b", Polygon.rectangle(10, 0, 20, 10)),
+        Room("x", Polygon.rectangle(100, 0, 110, 10)),
+        Room("y", Polygon.rectangle(110, 0, 120, 10)),
+    ]
+    doors = [
+        Door("ab", Point(10, 5), "a", "b"),
+        Door("xy", Point(110, 5), "x", "y"),
+    ]
+    return FloorPlan(rooms, doors)
+
+
+class TestDoorDistances:
+    def test_adjacent_doors(self):
+        graph = DoorGraph(corridor_plan())
+        assert graph.door_distance("ab", "bc") == 10.0
+
+    def test_self_distance_zero(self):
+        graph = DoorGraph(corridor_plan())
+        assert graph.door_distance("ab", "ab") == 0.0
+
+    def test_unreachable_door_is_inf(self):
+        graph = DoorGraph(disconnected_plan())
+        assert graph.door_distance("ab", "xy") == float("inf")
+
+    def test_unknown_door_raises(self):
+        graph = DoorGraph(corridor_plan())
+        with pytest.raises(KeyError):
+            graph.shortest_from("nope")
+
+    def test_door_path(self):
+        graph = DoorGraph(corridor_plan())
+        assert graph.door_path("ab", "bc") == ["ab", "bc"]
+        assert graph.door_path("ab", "ab") == ["ab"]
+
+    def test_door_path_unreachable_is_none(self):
+        graph = DoorGraph(disconnected_plan())
+        assert graph.door_path("ab", "xy") is None
+
+
+class TestRouting:
+    def test_same_room_is_straight(self):
+        graph = DoorGraph(corridor_plan())
+        route = graph.route(Point(1, 1), Point(9, 9))
+        assert route == [Point(1, 1), Point(9, 9)]
+
+    def test_adjacent_room_through_door(self):
+        graph = DoorGraph(corridor_plan())
+        route = graph.route(Point(5, 5), Point(15, 5))
+        assert route == [Point(5, 5), Point(10, 5), Point(15, 5)]
+
+    def test_two_hop_route(self):
+        graph = DoorGraph(corridor_plan())
+        route = graph.route(Point(5, 5), Point(25, 5))
+        assert route == [
+            Point(5, 5),
+            Point(10, 5),
+            Point(20, 5),
+            Point(25, 5),
+        ]
+
+    def test_route_outside_plan_is_none(self):
+        graph = DoorGraph(corridor_plan())
+        assert graph.route(Point(-5, -5), Point(5, 5)) is None
+        assert graph.route(Point(5, 5), Point(500, 5)) is None
+
+    def test_route_between_components_is_none(self):
+        graph = DoorGraph(disconnected_plan())
+        assert graph.route(Point(5, 5), Point(105, 5)) is None
+
+    def test_route_length_dominates_euclidean(self):
+        graph = DoorGraph(corridor_plan())
+        start, goal = Point(1, 9), Point(29, 1)
+        route = graph.route(start, goal)
+        length = sum(a.distance_to(b) for a, b in zip(route, route[1:]))
+        assert length >= start.distance_to(goal) - 1e-9
+
+
+class TestConnectivity:
+    def test_connected_plan(self):
+        graph = DoorGraph(corridor_plan())
+        assert graph.is_connected()
+        assert graph.room_components() == [{"a", "b", "c"}]
+
+    def test_disconnected_plan(self):
+        graph = DoorGraph(disconnected_plan())
+        assert not graph.is_connected()
+        components = graph.room_components()
+        assert len(components) == 2
+        assert {"a", "b"} in components
+        assert {"x", "y"} in components

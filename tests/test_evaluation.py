@@ -1,0 +1,122 @@
+"""Tests for ground-truth evaluation metrics."""
+
+import pytest
+
+from repro.evaluation import (
+    CalibrationBin,
+    interval_presence_calibration,
+    interval_truth,
+    precision_at_k,
+    snapshot_presence_calibration,
+    snapshot_truth,
+    spearman_correlation,
+)
+
+
+class TestTruth:
+    def test_snapshot_truth_counts_objects(self, synthetic_dataset):
+        t = synthetic_dataset.mid_time()
+        truth = snapshot_truth(synthetic_dataset, t)
+        population = len(synthetic_dataset.trajectories)
+        # A room revisited by the POI partitioner hosts overlapping POIs,
+        # so totals may exceed the population — but no single POI can.
+        assert all(0 < count <= population for count in truth.values())
+        assert truth  # mid-simulation, someone is somewhere
+
+    def test_interval_truth_superset_of_snapshot(self, synthetic_dataset):
+        t = synthetic_dataset.mid_time()
+        at_instant = snapshot_truth(synthetic_dataset, t)
+        over_window = interval_truth(synthetic_dataset, t - 30.0, t + 30.0)
+        for poi_id, count in at_instant.items():
+            assert over_window.get(poi_id, 0) >= count
+
+
+class TestRankingMetrics:
+    def test_perfect_agreement(self):
+        predicted = {"a": 3.0, "b": 2.0, "c": 1.0}
+        truth = {"a": 30, "b": 20, "c": 10}
+        assert precision_at_k(predicted, truth, 2) == 1.0
+        assert spearman_correlation(predicted, truth) == pytest.approx(1.0)
+
+    def test_inverse_agreement(self):
+        predicted = {"a": 1.0, "b": 2.0, "c": 3.0}
+        truth = {"a": 30, "b": 20, "c": 10}
+        assert spearman_correlation(predicted, truth) == pytest.approx(-1.0)
+
+    def test_partial_overlap(self):
+        predicted = {"a": 9.0, "b": 8.0, "c": 1.0, "d": 0.5}
+        truth = {"a": 10, "c": 9, "b": 1, "d": 0}
+        assert precision_at_k(predicted, truth, 2) == 0.5  # {a,b} vs {a,c}
+
+    def test_k_clamped(self):
+        assert precision_at_k({"a": 1.0}, {"a": 1}, 10) == 1.0
+
+    def test_k_validated(self):
+        with pytest.raises(ValueError):
+            precision_at_k({}, {}, 0)
+
+    def test_degenerate_inputs(self):
+        assert precision_at_k({}, {}, 3) == 1.0
+        assert spearman_correlation({}, {}) == 0.0
+        assert spearman_correlation({"a": 1.0}, {"a": 5}) == 0.0
+
+    def test_constant_rankings_are_zero(self):
+        predicted = {"a": 1.0, "b": 1.0, "c": 1.0}
+        truth = {"a": 1, "b": 2, "c": 3}
+        assert spearman_correlation(predicted, truth) == 0.0
+
+    def test_missing_keys_count_as_zero(self):
+        predicted = {"a": 5.0}
+        truth = {"b": 5}
+        # Union of keys is used; ties broken by key.
+        value = spearman_correlation(predicted, truth)
+        assert -1.0 <= value <= 1.0
+
+
+class TestCalibration:
+    def test_snapshot_calibration_structure(self, synthetic_dataset):
+        engine = synthetic_dataset.engine()
+        start, end = synthetic_dataset.time_span()
+        times = [start + f * (end - start) for f in (0.4, 0.6)]
+        table = snapshot_presence_calibration(
+            synthetic_dataset, engine, times, bins=5
+        )
+        assert table  # some pairs existed
+        for bin_ in table:
+            assert isinstance(bin_, CalibrationBin)
+            assert 0.0 <= bin_.lower < bin_.upper <= 1.0
+            assert bin_.count > 0
+            assert 0.0 <= bin_.empirical_frequency <= 1.0
+            assert bin_.lower - 1e-9 <= bin_.mean_predicted <= bin_.upper + 1e-9
+
+    def test_presence_never_underestimates_in_aggregate(self, synthetic_dataset):
+        """Soundness implies conservative predictions: whenever the object
+        truly is in the POI, presence is positive — so the model can only
+        over-predict, never under-predict, i.e. every calibration gap is
+        non-negative up to sampling noise."""
+        engine = synthetic_dataset.engine()
+        start, end = synthetic_dataset.time_span()
+        times = [start + f * (end - start) for f in (0.3, 0.5, 0.7)]
+        table = snapshot_presence_calibration(
+            synthetic_dataset, engine, times, bins=4
+        )
+        weighted_gap = sum(b.gap * b.count for b in table) / max(
+            1, sum(b.count for b in table)
+        )
+        assert weighted_gap >= -0.05
+
+    def test_interval_calibration_runs(self, synthetic_dataset):
+        engine = synthetic_dataset.engine()
+        window = synthetic_dataset.window(2)
+        table = interval_presence_calibration(
+            synthetic_dataset, engine, [window], bins=4
+        )
+        assert table
+        assert all(bin_.count > 0 for bin_ in table)
+
+    def test_bins_validated(self, synthetic_dataset):
+        engine = synthetic_dataset.engine()
+        with pytest.raises(ValueError):
+            snapshot_presence_calibration(
+                synthetic_dataset, engine, [synthetic_dataset.mid_time()], bins=0
+            )

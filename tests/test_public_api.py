@@ -1,0 +1,78 @@
+"""The public API surface: imports, exports and docstrings."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.geometry",
+    "repro.index",
+    "repro.indoor",
+    "repro.tracking",
+    "repro.core",
+    "repro.core.uncertainty",
+    "repro.core.algorithms",
+    "repro.datagen",
+    "repro.bench",
+    "repro.viz",
+    "repro.evaluation",
+    "repro.tools",
+]
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        module = importlib.import_module(name)
+        assert module is not None
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_exports_resolve(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", ()):
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_has_docstring(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} lacks a docstring"
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_headline_symbols(self):
+        # The symbols the README quickstart uses.
+        assert repro.FlowEngine
+        assert repro.ObjectTrackingTable
+        assert repro.TrackingRecord
+        assert repro.Poi
+
+    def test_engine_methods_documented(self):
+        for name in (
+            "snapshot_topk",
+            "interval_topk",
+            "snapshot_flows",
+            "interval_flows",
+            "snapshot_region_of",
+            "interval_region_of",
+        ):
+            method = getattr(repro.FlowEngine, name)
+            assert method.__doc__, f"FlowEngine.{name} lacks a docstring"
+
+
+class TestPublicCallablesDocumented:
+    @pytest.mark.parametrize(
+        "name", ["repro.geometry", "repro.index", "repro.indoor", "repro.core"]
+    )
+    def test_exported_classes_and_functions_have_docstrings(self, name):
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"

@@ -1,0 +1,147 @@
+"""End-to-end tests for the ``repro.tools`` command-line front end."""
+
+import pytest
+
+from repro.tools import main
+
+
+@pytest.fixture(scope="module")
+def data_dir(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli-data")
+    code = main(
+        [
+            "generate",
+            "--kind",
+            "synthetic",
+            "--objects",
+            "15",
+            "--minutes",
+            "10",
+            "--seed",
+            "5",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    return out
+
+
+class TestGenerate:
+    def test_files_written(self, data_dir):
+        assert (data_dir / "model.json").exists()
+        assert (data_dir / "ott.csv").exists()
+
+    def test_cph_kind(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--kind",
+                "cph",
+                "--objects",
+                "10",
+                "--minutes",
+                "60",
+                "--out",
+                str(tmp_path / "cph"),
+            ]
+        )
+        assert code == 0
+        assert "records" in capsys.readouterr().out
+
+    def test_detection_range_forwarded(self, tmp_path, capsys):
+        code = main(
+            [
+                "generate",
+                "--objects",
+                "5",
+                "--minutes",
+                "5",
+                "--detection-range",
+                "2.5",
+                "--out",
+                str(tmp_path / "r25"),
+            ]
+        )
+        assert code == 0
+        from repro.indoor import load_indoor_model
+
+        _, deployment, _ = load_indoor_model(tmp_path / "r25" / "model.json")
+        assert all(device.radius == 2.5 for device in deployment)
+
+
+class TestInfo:
+    def test_summary(self, data_dir, capsys):
+        assert main(["info", str(data_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "records:" in out
+        assert "objects:     15" in out
+
+    def test_missing_directory(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "nowhere")]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestQuery:
+    def test_snapshot_query(self, data_dir, capsys):
+        assert main(["query", str(data_dir), "--snapshot", "300", "--k", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "top-3 POIs at t=300" in out
+        assert out.count("flow=") == 3
+
+    def test_interval_query_iterative(self, data_dir, capsys):
+        code = main(
+            [
+                "query",
+                str(data_dir),
+                "--interval",
+                "200",
+                "400",
+                "--k",
+                "2",
+                "--method",
+                "iterative",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top-2 POIs during [200, 400]" in out
+
+    def test_methods_agree_through_cli(self, data_dir, capsys):
+        main(["query", str(data_dir), "--snapshot", "300", "--k", "5"])
+        join_out = capsys.readouterr().out
+        main(
+            [
+                "query",
+                str(data_dir),
+                "--snapshot",
+                "300",
+                "--k",
+                "5",
+                "--method",
+                "iterative",
+            ]
+        )
+        iterative_out = capsys.readouterr().out
+        # Same flows line by line (labels differ only in the method name).
+        join_flows = [line.split("flow=")[1] for line in join_out.splitlines() if "flow=" in line]
+        iter_flows = [line.split("flow=")[1] for line in iterative_out.splitlines() if "flow=" in line]
+        assert join_flows == iter_flows
+
+    def test_no_topology_flag(self, data_dir, capsys):
+        code = main(
+            [
+                "query",
+                str(data_dir),
+                "--snapshot",
+                "300",
+                "--k",
+                "2",
+                "--no-topology-check",
+            ]
+        )
+        assert code == 0
+
+    def test_requires_a_query(self, data_dir):
+        with pytest.raises(SystemExit):
+            main(["query", str(data_dir), "--k", "3"])

@@ -1,0 +1,160 @@
+"""Tests for the analytic proximity detection model.
+
+The key property: analytic per-leg episode computation must agree with a
+brute-force clock-stepped simulation of the same trajectory.
+"""
+
+import math
+
+import pytest
+
+from repro.geometry import Point
+from repro.indoor import Deployment, Device
+from repro.tracking import (
+    Leg,
+    Trajectory,
+    detect_all,
+    detect_trajectory,
+    detection_episodes,
+)
+
+
+def straight_walk(speed=1.0, length=100.0):
+    return Trajectory(
+        "o", [Leg(Point(0, 0), Point(length, 0), 0.0, length / speed)]
+    )
+
+
+def stepped_reference(trajectory, deployment, interval):
+    """Brute force: sample the trajectory position at every global tick."""
+    readings = set()
+    first_tick = math.ceil(trajectory.t_start / interval)
+    last_tick = math.floor(trajectory.t_end / interval)
+    for k in range(first_tick, last_tick + 1):
+        t = k * interval
+        position = trajectory.position_at(t)
+        for device in deployment:
+            if device.range.contains(position):
+                readings.add((device.device_id, round(t, 9)))
+    return readings
+
+
+class TestEpisodes:
+    def test_walkthrough_episode(self):
+        device = Device.at("d", Point(50, 0), 5.0)
+        episodes = detection_episodes(straight_walk(), device)
+        assert len(episodes) == 1
+        t_in, t_out = episodes[0]
+        assert t_in == pytest.approx(45.0)
+        assert t_out == pytest.approx(55.0)
+
+    def test_offset_device_shorter_episode(self):
+        device = Device.at("d", Point(50, 3.0), 5.0)
+        ((t_in, t_out),) = detection_episodes(straight_walk(), device)
+        assert t_out - t_in == pytest.approx(8.0)  # chord length 2*sqrt(25-9)
+
+    def test_miss(self):
+        device = Device.at("d", Point(50, 10.0), 5.0)
+        assert detection_episodes(straight_walk(), device) == []
+
+    def test_dwell_inside_range(self):
+        trajectory = Trajectory("o", [Leg(Point(0, 0), Point(0, 0), 5.0, 25.0)])
+        device = Device.at("d", Point(1, 0), 3.0)
+        assert detection_episodes(trajectory, device) == [(5.0, 25.0)]
+
+    def test_dwell_outside_range(self):
+        trajectory = Trajectory("o", [Leg(Point(10, 0), Point(10, 0), 0.0, 9.0)])
+        device = Device.at("d", Point(0, 0), 3.0)
+        assert detection_episodes(trajectory, device) == []
+
+    def test_touching_legs_coalesce(self):
+        # Walk in, dwell inside, walk out: one continuous episode.
+        trajectory = Trajectory(
+            "o",
+            [
+                Leg(Point(0, 0), Point(50, 0), 0.0, 50.0),
+                Leg(Point(50, 0), Point(50, 0), 50.0, 60.0),
+                Leg(Point(50, 0), Point(100, 0), 60.0, 110.0),
+            ],
+        )
+        device = Device.at("d", Point(50, 0), 5.0)
+        assert detection_episodes(trajectory, device) == [
+            (pytest.approx(45.0), pytest.approx(65.0))
+        ]
+
+    def test_reentry_gives_two_episodes(self):
+        trajectory = Trajectory(
+            "o",
+            [
+                Leg(Point(0, 0), Point(100, 0), 0.0, 100.0),
+                Leg(Point(100, 0), Point(0, 0), 100.0, 200.0),
+            ],
+        )
+        device = Device.at("d", Point(50, 0), 5.0)
+        episodes = detection_episodes(trajectory, device)
+        assert len(episodes) == 2
+
+
+class TestReadings:
+    def test_matches_stepped_reference(self):
+        deployment = Deployment(
+            [
+                Device.at("a", Point(20, 1), 4.0),
+                Device.at("b", Point(60, -2), 6.0),
+                Device.at("c", Point(90, 30), 3.0),  # never hit
+            ]
+        )
+        trajectory = Trajectory(
+            "o",
+            [
+                Leg(Point(0, 0), Point(80, 0), 0.0, 80.0),
+                Leg(Point(80, 0), Point(80, 0), 80.0, 95.0),
+                Leg(Point(80, 0), Point(0, 0), 95.0, 175.0),
+            ],
+        )
+        got = {
+            (r.device_id, round(r.t, 9))
+            for r in detect_trajectory(trajectory, deployment, 1.0)
+        }
+        assert got == stepped_reference(trajectory, deployment, 1.0)
+
+    def test_readings_sorted_by_time(self):
+        deployment = Deployment([Device.at("a", Point(20, 0), 4.0)])
+        readings = detect_trajectory(straight_walk(), deployment, 1.0)
+        times = [r.t for r in readings]
+        assert times == sorted(times)
+
+    def test_no_duplicate_readings_at_leg_boundaries(self):
+        # The boundary between two legs lands exactly on a tick inside a
+        # detection range; the reading must appear once.
+        deployment = Deployment([Device.at("a", Point(10, 0), 5.0)])
+        trajectory = Trajectory(
+            "o",
+            [
+                Leg(Point(0, 0), Point(10, 0), 0.0, 10.0),
+                Leg(Point(10, 0), Point(20, 0), 10.0, 20.0),
+            ],
+        )
+        readings = detect_trajectory(trajectory, deployment, 1.0)
+        keys = [(r.device_id, r.t) for r in readings]
+        assert len(keys) == len(set(keys))
+
+    def test_sampling_interval_validation(self):
+        deployment = Deployment([])
+        with pytest.raises(ValueError):
+            detect_trajectory(straight_walk(), deployment, 0.0)
+
+    def test_coarser_sampling_fewer_readings(self):
+        deployment = Deployment([Device.at("a", Point(50, 0), 10.0)])
+        fine = detect_trajectory(straight_walk(), deployment, 1.0)
+        coarse = detect_trajectory(straight_walk(), deployment, 5.0)
+        assert len(coarse) < len(fine)
+
+    def test_detect_all_covers_all_objects(self):
+        deployment = Deployment([Device.at("a", Point(20, 0), 5.0)])
+        walks = [
+            straight_walk(),
+            Trajectory("p", [Leg(Point(0, 1), Point(100, 1), 0.0, 100.0)]),
+        ]
+        readings = detect_all(walks, deployment, 1.0)
+        assert {r.object_id for r in readings} == {"o", "p"}

@@ -1,0 +1,82 @@
+"""Tests for merging raw readings into tracking records."""
+
+import pytest
+
+from repro.tracking import RawReading, merge_readings
+
+
+def readings(object_id, device_id, times):
+    return [RawReading(object_id, device_id, t) for t in times]
+
+
+class TestMerging:
+    def test_consecutive_readings_merge_into_one_record(self):
+        table = merge_readings(readings("o", "d", [0.0, 1.0, 2.0, 3.0]))
+        records = table.records_for("o")
+        assert len(records) == 1
+        assert (records[0].t_s, records[0].t_e) == (0.0, 3.0)
+
+    def test_single_reading_yields_point_record(self):
+        table = merge_readings(readings("o", "d", [5.0]))
+        record = table.records_for("o")[0]
+        assert record.t_s == record.t_e == 5.0
+
+    def test_gap_splits_records(self):
+        table = merge_readings(readings("o", "d", [0.0, 1.0, 10.0, 11.0]))
+        records = table.records_for("o")
+        assert [(r.t_s, r.t_e) for r in records] == [(0.0, 1.0), (10.0, 11.0)]
+
+    def test_device_change_splits_records(self):
+        raw = readings("o", "d1", [0.0, 1.0]) + readings("o", "d2", [2.0, 3.0])
+        table = merge_readings(raw)
+        records = table.records_for("o")
+        assert [(r.device_id, r.t_s, r.t_e) for r in records] == [
+            ("d1", 0.0, 1.0),
+            ("d2", 2.0, 3.0),
+        ]
+
+    def test_jitter_within_default_gap_tolerated(self):
+        # Default max_gap is 1.5 * sampling_interval.
+        table = merge_readings(readings("o", "d", [0.0, 1.4, 2.8]))
+        assert len(table.records_for("o")) == 1
+
+    def test_custom_max_gap(self):
+        table = merge_readings(
+            readings("o", "d", [0.0, 3.0, 6.0]), max_gap=5.0
+        )
+        assert len(table.records_for("o")) == 1
+
+    def test_rejects_non_positive_gap(self):
+        with pytest.raises(ValueError):
+            merge_readings([], max_gap=0.0)
+
+    def test_multiple_objects_kept_apart(self):
+        raw = readings("a", "d", [0.0, 1.0]) + readings("b", "d", [0.0, 1.0])
+        table = merge_readings(raw)
+        assert table.object_count == 2
+        assert len(table) == 2
+
+    def test_unsorted_input_handled(self):
+        raw = readings("o", "d", [3.0, 0.0, 2.0, 1.0])
+        table = merge_readings(raw)
+        records = table.records_for("o")
+        assert [(r.t_s, r.t_e) for r in records] == [(0.0, 3.0)]
+
+    def test_result_is_frozen(self):
+        table = merge_readings(readings("o", "d", [0.0]))
+        with pytest.raises(RuntimeError):
+            table.append(None)
+
+    def test_record_ids_unique(self):
+        raw = (
+            readings("a", "d1", [0.0, 1.0])
+            + readings("a", "d2", [5.0])
+            + readings("b", "d1", [2.0])
+        )
+        table = merge_readings(raw)
+        ids = [record.record_id for record in table]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_input(self):
+        table = merge_readings([])
+        assert len(table) == 0

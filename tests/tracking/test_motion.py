@@ -1,0 +1,144 @@
+"""Tests for the motion programs (random waypoint and itineraries)."""
+
+import random
+
+import pytest
+
+from repro.geometry import Point
+from repro.indoor import DoorGraph
+from repro.tracking import (
+    itinerary_trajectory,
+    random_point_in_room,
+    random_waypoint_trajectory,
+    zipf_room_weights,
+)
+
+
+class TestRandomPointInRoom:
+    def test_point_inside_room(self, office_plan):
+        rng = random.Random(1)
+        for room in office_plan.rooms:
+            for _ in range(10):
+                point = random_point_in_room(room, rng)
+                assert room.polygon.contains(point)
+
+    def test_deterministic_for_seeded_rng(self, office_plan):
+        room = office_plan.rooms[0]
+        a = random_point_in_room(room, random.Random(5))
+        b = random_point_in_room(room, random.Random(5))
+        assert a == b
+
+
+class TestZipfWeights:
+    def test_uniform_at_zero_exponent(self):
+        assert zipf_room_weights(4, exponent=0.0) == [1.0, 1.0, 1.0, 1.0]
+
+    def test_decreasing(self):
+        weights = zipf_room_weights(5, exponent=1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            zipf_room_weights(0)
+        with pytest.raises(ValueError):
+            zipf_room_weights(3, exponent=-1.0)
+
+
+class TestRandomWaypoint:
+    def make(self, plan, graph, seed=3, **kwargs):
+        defaults = dict(speed=1.1, duration=600.0, pause_max=30.0)
+        defaults.update(kwargs)
+        return random_waypoint_trajectory(
+            "obj", plan, graph, random.Random(seed), **defaults
+        )
+
+    def test_covers_exact_time_span(self, office_plan, office_graph):
+        walk = self.make(office_plan, office_graph)
+        assert walk.t_start == 0.0
+        assert walk.t_end == 600.0
+
+    def test_never_exceeds_speed(self, office_plan, office_graph):
+        walk = self.make(office_plan, office_graph, speed=1.1)
+        assert walk.max_speed() <= 1.1 + 1e-9
+
+    def test_stays_inside_floor_plan(self, office_plan, office_graph):
+        walk = self.make(office_plan, office_graph)
+        for t in walk.sample_times(0.0, 600.0, step=5.0):
+            assert office_plan.contains_point(walk.position_at(t))
+
+    def test_deterministic(self, office_plan, office_graph):
+        a = self.make(office_plan, office_graph, seed=9)
+        b = self.make(office_plan, office_graph, seed=9)
+        assert len(a.legs) == len(b.legs)
+        assert a.position_at(300.0) == b.position_at(300.0)
+
+    def test_different_seeds_differ(self, office_plan, office_graph):
+        a = self.make(office_plan, office_graph, seed=1)
+        b = self.make(office_plan, office_graph, seed=2)
+        assert a.position_at(300.0) != b.position_at(300.0)
+
+    def test_rejects_non_positive_speed(self, office_plan, office_graph):
+        with pytest.raises(ValueError):
+            self.make(office_plan, office_graph, speed=0.0)
+
+    def test_room_weights_bias_destinations(self, office_plan, office_graph):
+        # All weight on room index 1: the object should spend most time
+        # around that room (and the hallway on the way).
+        weights = [0.0] * len(office_plan.rooms)
+        weights[1] = 1.0
+        target = office_plan.rooms[1]
+        walk = self.make(
+            office_plan, office_graph, room_weights=weights, duration=1200.0
+        )
+        inside = sum(
+            1
+            for t in walk.sample_times(0.0, 1200.0, 10.0)
+            if target.polygon.contains(walk.position_at(t))
+        )
+        assert inside > 0
+
+    def test_room_weights_length_validated(self, office_plan, office_graph):
+        with pytest.raises(ValueError):
+            self.make(office_plan, office_graph, room_weights=[1.0])
+
+
+class TestItinerary:
+    def test_visits_stops_in_order(self, office_plan, office_graph):
+        rooms = [r for r in office_plan.rooms if r.kind == "room"]
+        stops = [
+            (rooms[0].polygon.centroid(), 10.0),
+            (rooms[3].polygon.centroid(), 20.0),
+        ]
+        walk = itinerary_trajectory("p", office_graph, stops, speed=1.0)
+        # Dwell at the first stop.
+        assert walk.position_at(5.0) == stops[0][0]
+        # Eventually dwelling at the second stop.
+        assert walk.position_at(walk.t_end) == stops[1][0]
+
+    def test_rejects_empty_itinerary(self, office_graph):
+        with pytest.raises(ValueError):
+            itinerary_trajectory("p", office_graph, [])
+
+    def test_unroutable_stop_raises(self, office_plan, office_graph):
+        stops = [
+            (office_plan.rooms[0].polygon.centroid(), 1.0),
+            (Point(9999.0, 9999.0), 1.0),
+        ]
+        with pytest.raises(ValueError):
+            itinerary_trajectory("p", office_graph, stops)
+
+    def test_speed_respected(self, office_plan, office_graph):
+        rooms = [r for r in office_plan.rooms if r.kind == "room"]
+        stops = [
+            (rooms[0].polygon.centroid(), 0.0),
+            (rooms[5].polygon.centroid(), 0.0),
+        ]
+        walk = itinerary_trajectory("p", office_graph, stops, speed=2.0)
+        assert walk.max_speed() <= 2.0 + 1e-9
+
+    def test_single_stop_dwell_only(self, office_plan, office_graph):
+        center = office_plan.rooms[0].polygon.centroid()
+        walk = itinerary_trajectory("p", office_graph, [(center, 30.0)])
+        assert walk.t_end - walk.t_start == 30.0
+        assert walk.position_at(15.0) == center

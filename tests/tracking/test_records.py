@@ -1,0 +1,48 @@
+"""Tests for raw readings and tracking records."""
+
+import pytest
+
+from repro.tracking import RawReading, TrackingRecord
+
+
+class TestRawReading:
+    def test_fields(self):
+        reading = RawReading("o1", "d1", 12.5)
+        assert reading.object_id == "o1"
+        assert reading.device_id == "d1"
+        assert reading.t == 12.5
+
+    def test_immutable(self):
+        reading = RawReading("o1", "d1", 1.0)
+        with pytest.raises(AttributeError):
+            reading.t = 2.0
+
+
+class TestTrackingRecord:
+    def test_rejects_inverted_interval(self):
+        with pytest.raises(ValueError):
+            TrackingRecord(0, "o", "d", 10.0, 5.0)
+
+    def test_zero_duration_allowed(self):
+        record = TrackingRecord(0, "o", "d", 5.0, 5.0)
+        assert record.duration == 0.0
+
+    def test_duration(self):
+        assert TrackingRecord(0, "o", "d", 5.0, 9.0).duration == 4.0
+
+    def test_covers_closed_interval(self):
+        record = TrackingRecord(0, "o", "d", 5.0, 9.0)
+        assert record.covers(5.0)
+        assert record.covers(7.0)
+        assert record.covers(9.0)
+        assert not record.covers(4.999)
+        assert not record.covers(9.001)
+
+    def test_overlaps(self):
+        record = TrackingRecord(0, "o", "d", 5.0, 9.0)
+        assert record.overlaps(0.0, 5.0)  # touching start
+        assert record.overlaps(9.0, 12.0)  # touching end
+        assert record.overlaps(6.0, 7.0)  # contained
+        assert record.overlaps(0.0, 100.0)  # containing
+        assert not record.overlaps(0.0, 4.9)
+        assert not record.overlaps(9.1, 12.0)

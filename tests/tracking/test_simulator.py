@@ -1,0 +1,117 @@
+"""Tests for the end-to-end simulation pipeline."""
+
+import pytest
+
+from repro.tracking import simulate_random_waypoint, simulate_trajectories
+
+
+class TestSimulateRandomWaypoint:
+    def test_produces_consistent_ott(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=8, duration=600.0, seed=2
+        )
+        assert len(result.trajectories) == 8
+        # freeze() validated per-object temporal consistency already; spot
+        # check the invariants again.
+        for object_id in result.ott.object_ids:
+            records = result.ott.records_for(object_id)
+            for record in records:
+                assert record.t_e >= record.t_s
+            for previous, current in zip(records, records[1:]):
+                assert current.t_s >= previous.t_e
+
+    def test_all_devices_known(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=8, duration=600.0, seed=2
+        )
+        for record in result.ott:
+            assert record.device_id in office_deployment
+
+    def test_deterministic_per_seed(self, office_plan, office_deployment):
+        a = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=5, duration=300.0, seed=4
+        )
+        b = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=5, duration=300.0, seed=4
+        )
+        assert [(r.object_id, r.device_id, r.t_s, r.t_e) for r in a.ott] == [
+            (r.object_id, r.device_id, r.t_s, r.t_e) for r in b.ott
+        ]
+
+    def test_object_streams_independent_of_population(
+        self, office_plan, office_deployment
+    ):
+        # o0's trajectory must be identical whether 2 or 5 objects are
+        # simulated (per-object RNG streams).
+        small = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=2, duration=300.0, seed=4
+        )
+        large = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=5, duration=300.0, seed=4
+        )
+        assert small.trajectory_of("o0").position_at(150.0) == large.trajectory_of(
+            "o0"
+        ).position_at(150.0)
+
+    def test_readings_match_merged_records(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=5, duration=600.0, seed=6
+        )
+        # Every reading time is covered by exactly one record of that
+        # object/device.
+        for reading in result.readings:
+            covering = [
+                record
+                for record in result.ott.records_for(reading.object_id)
+                if record.device_id == reading.device_id
+                and record.covers(reading.t)
+            ]
+            assert len(covering) == 1
+
+    def test_readings_consistent_with_ground_truth(
+        self, office_plan, office_deployment
+    ):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=5, duration=600.0, seed=8
+        )
+        for reading in result.readings[:200]:
+            trajectory = result.trajectory_of(reading.object_id)
+            position = trajectory.position_at(reading.t)
+            device = office_deployment.device(reading.device_id)
+            assert device.range.contains(position)
+
+    def test_zero_objects(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=0, duration=60.0
+        )
+        assert len(result.ott) == 0
+
+    def test_negative_objects_rejected(self, office_plan, office_deployment):
+        with pytest.raises(ValueError):
+            simulate_random_waypoint(
+                office_plan, office_deployment, num_objects=-1
+            )
+
+    def test_trajectory_of_unknown_object(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan, office_deployment, num_objects=1, duration=60.0
+        )
+        with pytest.raises(KeyError):
+            result.trajectory_of("ghost")
+
+    def test_hotspot_exponent_accepted(self, office_plan, office_deployment):
+        result = simulate_random_waypoint(
+            office_plan,
+            office_deployment,
+            num_objects=3,
+            duration=300.0,
+            hotspot_exponent=1.0,
+        )
+        assert len(result.trajectories) == 3
+
+
+class TestSimulateTrajectories:
+    def test_empty(self, office_deployment):
+        result = simulate_trajectories([], office_deployment)
+        assert len(result.ott) == 0
+        assert result.readings == ()

@@ -1,0 +1,106 @@
+"""Tests for the Object Tracking Table."""
+
+import pytest
+
+from repro.tracking import ObjectTrackingTable, TrackingRecord
+
+
+def rec(record_id, obj, dev, t_s, t_e):
+    return TrackingRecord(record_id, obj, dev, t_s, t_e)
+
+
+@pytest.fixture()
+def table():
+    """The paper's Table 2 shape: one object, gaps between detections."""
+    return ObjectTrackingTable(
+        [
+            rec(0, "o1", "d1", 10.0, 20.0),
+            rec(1, "o1", "d2", 30.0, 40.0),
+            rec(2, "o1", "d3", 55.0, 60.0),
+            rec(3, "o2", "d1", 5.0, 8.0),
+        ]
+    ).freeze()
+
+
+class TestLifecycle:
+    def test_append_after_freeze_fails(self, table):
+        with pytest.raises(RuntimeError):
+            table.append(rec(9, "o3", "d1", 0.0, 1.0))
+
+    def test_query_before_freeze_fails(self):
+        table = ObjectTrackingTable([rec(0, "o", "d", 0.0, 1.0)])
+        with pytest.raises(RuntimeError):
+            table.records_for("o")
+
+    def test_freeze_is_idempotent(self, table):
+        assert table.freeze() is table
+
+    def test_freeze_sorts_out_of_order_records(self):
+        table = ObjectTrackingTable(
+            [rec(1, "o", "d2", 30.0, 40.0), rec(0, "o", "d1", 10.0, 20.0)]
+        ).freeze()
+        assert [r.record_id for r in table.records_for("o")] == [0, 1]
+
+    def test_freeze_rejects_overlapping_records(self):
+        table = ObjectTrackingTable(
+            [rec(0, "o", "d1", 10.0, 20.0), rec(1, "o", "d2", 15.0, 25.0)]
+        )
+        with pytest.raises(ValueError):
+            table.freeze()
+
+    def test_back_to_back_records_allowed(self):
+        ObjectTrackingTable(
+            [rec(0, "o", "d1", 10.0, 20.0), rec(1, "o", "d2", 20.0, 25.0)]
+        ).freeze()
+
+
+class TestIntrospection:
+    def test_len_and_iter(self, table):
+        assert len(table) == 4
+        assert len(list(table)) == 4
+
+    def test_object_ids(self, table):
+        assert set(table.object_ids) == {"o1", "o2"}
+        assert table.object_count == 2
+
+    def test_time_span(self, table):
+        assert table.time_span() == (5.0, 60.0)
+
+    def test_time_span_of_empty_table(self):
+        with pytest.raises(ValueError):
+            ObjectTrackingTable([]).freeze().time_span()
+
+    def test_records_for_unknown_object(self, table):
+        assert table.records_for("ghost") == []
+
+
+class TestTemporalLookups:
+    def test_record_covering_active(self, table):
+        assert table.record_covering("o1", 15.0).record_id == 0
+        assert table.record_covering("o1", 30.0).record_id == 1
+        assert table.record_covering("o1", 40.0).record_id == 1
+
+    def test_record_covering_gap_is_none(self, table):
+        assert table.record_covering("o1", 25.0) is None
+        assert table.record_covering("o1", 5.0) is None
+        assert table.record_covering("o1", 99.0) is None
+
+    def test_predecessor(self, table):
+        assert table.predecessor("o1", 25.0).record_id == 0
+        assert table.predecessor("o1", 50.0).record_id == 1
+        assert table.predecessor("o1", 10.0) is None
+
+    def test_successor(self, table):
+        assert table.successor("o1", 25.0).record_id == 1
+        assert table.successor("o1", 45.0).record_id == 2
+        assert table.successor("o1", 70.0) is None
+
+    def test_previous_record(self, table):
+        records = table.records_for("o1")
+        assert table.previous_record("o1", records[1]).record_id == 0
+        assert table.previous_record("o1", records[0]) is None
+
+    def test_records_overlapping(self, table):
+        ids = [r.record_id for r in table.records_overlapping("o1", 18.0, 35.0)]
+        assert ids == [0, 1]
+        assert table.records_overlapping("o1", 21.0, 29.0) == []

@@ -1,0 +1,111 @@
+"""Tests for trajectories and legs."""
+
+import pytest
+
+from repro.geometry import Circle, Point
+from repro.tracking import Leg, Trajectory
+
+
+class TestLeg:
+    def test_rejects_inverted_times(self):
+        with pytest.raises(ValueError):
+            Leg(Point(0, 0), Point(1, 0), 5.0, 4.0)
+
+    def test_dwell_detection(self):
+        assert Leg(Point(1, 1), Point(1, 1), 0.0, 5.0).is_dwell
+        assert not Leg(Point(1, 1), Point(2, 1), 0.0, 5.0).is_dwell
+
+    def test_speed(self):
+        leg = Leg(Point(0, 0), Point(10, 0), 0.0, 5.0)
+        assert leg.speed() == 2.0
+        assert Leg(Point(0, 0), Point(0, 0), 0.0, 5.0).speed() == 0.0
+
+    def test_position_interpolation(self):
+        leg = Leg(Point(0, 0), Point(10, 0), 0.0, 10.0)
+        assert leg.position_at(0.0) == Point(0, 0)
+        assert leg.position_at(5.0) == Point(5, 0)
+        assert leg.position_at(10.0) == Point(10, 0)
+
+    def test_position_clamps_outside_span(self):
+        leg = Leg(Point(0, 0), Point(10, 0), 2.0, 4.0)
+        assert leg.position_at(0.0) == Point(0, 0)
+        assert leg.position_at(99.0) == Point(10, 0)
+
+
+class TestTrajectory:
+    def walk(self):
+        return Trajectory(
+            "o",
+            [
+                Leg(Point(0, 0), Point(10, 0), 0.0, 10.0),
+                Leg(Point(10, 0), Point(10, 0), 10.0, 20.0),  # dwell
+                Leg(Point(10, 0), Point(10, 10), 20.0, 30.0),
+            ],
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Trajectory("o", [])
+
+    def test_rejects_time_discontinuity(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                "o",
+                [
+                    Leg(Point(0, 0), Point(1, 0), 0.0, 1.0),
+                    Leg(Point(1, 0), Point(2, 0), 5.0, 6.0),
+                ],
+            )
+
+    def test_rejects_teleport(self):
+        with pytest.raises(ValueError):
+            Trajectory(
+                "o",
+                [
+                    Leg(Point(0, 0), Point(1, 0), 0.0, 1.0),
+                    Leg(Point(5, 5), Point(6, 5), 1.0, 2.0),
+                ],
+            )
+
+    def test_span(self):
+        walk = self.walk()
+        assert walk.t_start == 0.0
+        assert walk.t_end == 30.0
+
+    def test_position_at(self):
+        walk = self.walk()
+        assert walk.position_at(5.0) == Point(5, 0)
+        assert walk.position_at(15.0) == Point(10, 0)  # dwelling
+        assert walk.position_at(25.0) == Point(10, 5)
+
+    def test_position_at_boundaries(self):
+        walk = self.walk()
+        assert walk.position_at(10.0) == Point(10, 0)
+        assert walk.position_at(20.0) == Point(10, 0)
+
+    def test_max_speed(self):
+        assert self.walk().max_speed() == 1.0
+
+    def test_mbr_covers_path(self):
+        box = self.walk().mbr()
+        assert box.contains_point(Point(0, 0))
+        assert box.contains_point(Point(10, 10))
+
+    def test_sample_times_include_leg_boundaries(self):
+        times = self.walk().sample_times(0.0, 30.0, step=7.0)
+        for boundary in (0.0, 10.0, 20.0, 30.0):
+            assert boundary in times
+
+    def test_sample_times_clip_to_span(self):
+        times = self.walk().sample_times(-100.0, 100.0, step=10.0)
+        assert min(times) == 0.0
+        assert max(times) == 30.0
+
+    def test_sample_times_empty_outside_span(self):
+        assert self.walk().sample_times(100.0, 200.0, step=1.0) == []
+
+    def test_ever_inside(self):
+        walk = self.walk()
+        near_midpoint = Circle(Point(5, 0), 1.0)
+        assert walk.ever_inside(near_midpoint, 0.0, 10.0)
+        assert not walk.ever_inside(near_midpoint, 20.0, 30.0)

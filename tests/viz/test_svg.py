@@ -1,0 +1,123 @@
+"""Tests for the SVG renderer."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.geometry import Circle, EmptyRegion, Point
+from repro.viz import SvgCanvas
+
+
+def render(canvas):
+    """Parse the produced SVG — catches malformed markup outright."""
+    text = canvas.to_svg()
+    return text, ET.fromstring(text)
+
+
+class TestCanvas:
+    def test_rejects_bad_scale(self, office_plan):
+        with pytest.raises(ValueError):
+            SvgCanvas(office_plan.bounds, scale=0.0)
+
+    def test_dimensions_follow_bounds(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan, scale=4.0)
+        assert canvas.width_px == pytest.approx(
+            (office_plan.bounds.width + 4.0) * 4.0
+        )
+
+    def test_empty_canvas_is_valid_svg(self, office_plan):
+        _, root = render(SvgCanvas.for_floorplan(office_plan))
+        assert root.tag.endswith("svg")
+
+
+class TestDrawing:
+    def test_floorplan_renders_every_room(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        text, root = render(canvas.draw_floorplan(office_plan))
+        polygons = [e for e in root.iter() if e.tag.endswith("polygon")]
+        assert len(polygons) == len(office_plan.rooms)
+        # Room labels present.
+        assert "R0T" in text
+
+    def test_doors_rendered_as_circles(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        _, root = render(canvas.draw_floorplan(office_plan, label_rooms=False))
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        assert len(circles) == len(office_plan.doors)
+
+    def test_deployment(self, office_plan, office_deployment):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        _, root = render(canvas.draw_deployment(office_deployment))
+        circles = [e for e in root.iter() if e.tag.endswith("circle")]
+        # Two circles per device (range + center dot).
+        assert len(circles) == 2 * len(office_deployment)
+
+    def test_pois(self, office_plan, office_pois):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        _, root = render(canvas.draw_pois(office_pois))
+        polygons = [e for e in root.iter() if e.tag.endswith("polygon")]
+        assert len(polygons) == len(office_pois)
+
+    def test_region_rasterised(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        region = Circle(Point(20.0, 4.0), 5.0)
+        _, root = render(canvas.draw_region(region))
+        rects = [e for e in root.iter() if e.tag.endswith("rect")]
+        assert len(rects) > 10  # background + many cells
+
+    def test_empty_region_draws_nothing(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        before = canvas.to_svg()
+        canvas.draw_region(EmptyRegion())
+        assert canvas.to_svg() == before
+
+    def test_region_outside_canvas_draws_nothing(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        before = canvas.to_svg()
+        canvas.draw_region(Circle(Point(10_000.0, 10_000.0), 3.0))
+        assert canvas.to_svg() == before
+
+    def test_trajectory(self, office_plan, synthetic_dataset):
+        canvas = SvgCanvas.for_floorplan(synthetic_dataset.floorplan)
+        trajectory = synthetic_dataset.trajectories[0]
+        _, root = render(canvas.draw_trajectory(trajectory))
+        polylines = [e for e in root.iter() if e.tag.endswith("polyline")]
+        assert len(polylines) == 1
+
+    def test_marker_with_label_escapes_text(self, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        text, _ = render(canvas.draw_marker(5.0, 5.0, label="<object&1>"))
+        assert "&lt;object&amp;1&gt;" in text
+
+    def test_chaining(self, office_plan, office_deployment, office_pois):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        result = (
+            canvas.draw_floorplan(office_plan)
+            .draw_deployment(office_deployment)
+            .draw_pois(office_pois)
+        )
+        assert result is canvas
+
+
+class TestOutput:
+    def test_save(self, tmp_path, office_plan):
+        canvas = SvgCanvas.for_floorplan(office_plan)
+        canvas.draw_floorplan(office_plan)
+        path = canvas.save(tmp_path / "plan.svg")
+        assert path.exists()
+        ET.parse(path)  # well-formed on disk
+
+    def test_full_scene_renders(self, synthetic_dataset, synthetic_engine):
+        """A realistic debugging scene: plan + devices + one object's UR."""
+        dataset = synthetic_dataset
+        t = dataset.mid_time()
+        object_id = dataset.ott.object_ids[0]
+        canvas = SvgCanvas.for_floorplan(dataset.floorplan)
+        canvas.draw_floorplan(dataset.floorplan, label_rooms=False)
+        canvas.draw_deployment(dataset.deployment)
+        region = synthetic_engine.snapshot_region_of(object_id, t)
+        if region is not None:
+            canvas.draw_region(region)
+            truth = dataset.trajectory_of(object_id).position_at(t)
+            canvas.draw_marker(truth.x, truth.y, label=str(object_id))
+        ET.fromstring(canvas.to_svg())
