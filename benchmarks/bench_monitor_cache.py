@@ -1,0 +1,85 @@
+"""Monitor ticks, cold vs. warm: what the EvaluationContext caches buy.
+
+Each benchmark drives a top-k monitor through a short tick schedule.  The
+``cold`` variants rebuild a cache-disabled engine per round; the ``warm``
+variants tick a long-lived caching engine whose context has already seen a
+neighbouring window, so interior uncertainty episodes and presence values
+are served from the memo layers.  ``test_stats_report`` prints the counter
+table (run with ``-s``) so the hit rates behind the timings are visible.
+"""
+
+import pytest
+
+from conftest import METHODS, run_benchmark
+
+from repro.bench import format_stats
+from repro.core.monitor import SlidingIntervalTopKMonitor, SnapshotTopKMonitor
+
+TICK_SECONDS = 5.0
+TICKS = 4
+WINDOW_SECONDS = 240.0
+
+
+def tick_times(dataset):
+    start = dataset.mid_time()
+    return [start + i * TICK_SECONDS for i in range(TICKS)]
+
+
+def run_sliding(engine, dataset, method):
+    monitor = SlidingIntervalTopKMonitor(
+        engine, k=10, window_seconds=WINDOW_SECONDS, method=method
+    )
+    return monitor.run(tick_times(dataset))
+
+
+def run_snapshot(engine, dataset, method):
+    monitor = SnapshotTopKMonitor(engine, k=10, method=method)
+    return monitor.run(tick_times(dataset))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_sliding_ticks_cold(benchmark, synthetic, method):
+    dataset, _ = synthetic
+
+    def cold_run():
+        engine = dataset.engine(region_cache_size=0, presence_cache_size=0)
+        return run_sliding(engine, dataset, method)
+
+    run_benchmark(benchmark, cold_run)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_sliding_ticks_warm(benchmark, synthetic, method):
+    dataset, engine = synthetic
+    run_sliding(engine, dataset, method)  # prime the context's caches
+    run_benchmark(benchmark, lambda: run_sliding(engine, dataset, method))
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_snapshot_ticks_cold(benchmark, synthetic, method):
+    dataset, _ = synthetic
+
+    def cold_run():
+        engine = dataset.engine(region_cache_size=0, presence_cache_size=0)
+        return run_snapshot(engine, dataset, method)
+
+    run_benchmark(benchmark, cold_run)
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_snapshot_ticks_warm(benchmark, synthetic, method):
+    dataset, engine = synthetic
+    run_snapshot(engine, dataset, method)
+    run_benchmark(benchmark, lambda: run_snapshot(engine, dataset, method))
+
+
+def test_stats_report(synthetic, capsys):
+    """Not a timing: prints the cold/warm counter tables behind the numbers."""
+    dataset, _ = synthetic
+    engine = dataset.engine()
+    with capsys.disabled():
+        for label in ("cold ticks", "warm ticks"):
+            engine.reset_stats()
+            run_sliding(engine, dataset, "join")
+            print()
+            print(format_stats(f"sliding monitor, {label}", engine.stats()))

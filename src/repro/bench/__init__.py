@@ -6,8 +6,10 @@ from .harness import BenchContext, FigureResult, SeriesPoint
 from .reporting import (
     format_ablation,
     format_figure,
+    format_stats,
     print_ablation,
     print_figure,
+    print_stats,
 )
 
 __all__ = [
@@ -20,7 +22,9 @@ __all__ = [
     "SeriesPoint",
     "format_ablation",
     "format_figure",
+    "format_stats",
     "print_ablation",
     "print_figure",
+    "print_stats",
     "run_figure",
 ]

@@ -152,3 +152,32 @@ class BenchContext:
         iterative_ms = self.time_ms(lambda: run("iterative"))
         join_ms = self.time_ms(lambda: run("join"))
         return iterative_ms, join_ms
+
+    # ------------------------------------------------------------------
+    # Cache instrumentation
+    # ------------------------------------------------------------------
+
+    def collect_stats(
+        self, engine: FlowEngine, run: Callable[[], object]
+    ) -> dict[str, int]:
+        """``FlowEngine.stats()`` attributable to one execution of ``run``.
+
+        The engine's counters are reset, ``run`` executes once, and the
+        fresh counter values are returned — cache *contents* are left
+        untouched, so calling this twice measures a cold then a warm run.
+        """
+        engine.reset_stats()
+        run()
+        return engine.stats()
+
+    def timed_stats(
+        self, engine: FlowEngine, run: Callable[[], object]
+    ) -> tuple[float, dict[str, int]]:
+        """``(median ms, stats)`` for one workload.
+
+        The stats come from one instrumented execution of ``run``; the
+        timing is the median of the ``repeats`` executions that follow it
+        (warm-cache, matching how the monitors run in steady state).
+        """
+        stats = self.collect_stats(engine, run)
+        return self.time_ms(run), stats

@@ -1,13 +1,20 @@
-"""Plain-text reporting of reproduced figures and ablations."""
+"""Plain-text reporting of reproduced figures, ablations and cache stats."""
 
 from __future__ import annotations
 
-from typing import Iterable, TextIO
+from typing import Iterable, Mapping, TextIO
 
 from .ablations import AblationRow
 from .harness import FigureResult
 
-__all__ = ["format_figure", "format_ablation", "print_figure", "print_ablation"]
+__all__ = [
+    "format_figure",
+    "format_ablation",
+    "format_stats",
+    "print_figure",
+    "print_ablation",
+    "print_stats",
+]
 
 
 def format_figure(result: FigureResult) -> str:
@@ -34,6 +41,30 @@ def format_ablation(name: str, rows: Iterable[AblationRow]) -> str:
     return "\n".join(lines)
 
 
+def format_stats(name: str, stats: Mapping[str, int]) -> str:
+    """One evaluation-counter report (``FlowEngine.stats()`` output).
+
+    Alongside the raw counters the derived hit rates are shown — the
+    headline numbers for judging what the context's memo layers save.
+    """
+    lines = [name, f"{'counter':>24} | {'value':>10}", "-" * 37]
+    for key, value in stats.items():
+        lines.append(f"{key:>24} | {value:>10}")
+    region_total = stats.get("regions_computed", 0) + stats.get(
+        "region_cache_hits", 0
+    )
+    presence_total = stats.get("presence_evaluations", 0) + stats.get(
+        "presence_cache_hits", 0
+    )
+    if region_total:
+        rate = 100.0 * stats.get("region_cache_hits", 0) / region_total
+        lines.append(f"{'region hit rate':>24} | {rate:>9.1f}%")
+    if presence_total:
+        rate = 100.0 * stats.get("presence_cache_hits", 0) / presence_total
+        lines.append(f"{'presence hit rate':>24} | {rate:>9.1f}%")
+    return "\n".join(lines)
+
+
 def print_figure(result: FigureResult, stream: TextIO | None = None) -> None:
     print(format_figure(result), file=stream)
     print(file=stream)
@@ -43,4 +74,11 @@ def print_ablation(
     name: str, rows: Iterable[AblationRow], stream: TextIO | None = None
 ) -> None:
     print(format_ablation(name, rows), file=stream)
+    print(file=stream)
+
+
+def print_stats(
+    name: str, stats: Mapping[str, int], stream: TextIO | None = None
+) -> None:
+    print(format_stats(name, stats), file=stream)
     print(file=stream)

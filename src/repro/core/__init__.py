@@ -9,6 +9,8 @@ from .algorithms import (
     join_snapshot,
     snapshot_flows,
 )
+from .caching import LruCache
+from .context import EvaluationContext, EvaluationStats
 from .engine import FlowEngine
 from .monitor import (
     SlidingIntervalTopKMonitor,
@@ -28,6 +30,7 @@ from .states import (
     IntervalContext,
     SnapshotContext,
     TrackingState,
+    interval_context_from_entries,
     interval_contexts,
     snapshot_context,
     snapshot_contexts,
@@ -41,15 +44,19 @@ from .uncertainty import (
     interval_uncertainty,
     snapshot_mbr,
     snapshot_region,
+    snapshot_region_key,
 )
 
 __all__ = [
     "Episode",
+    "EvaluationContext",
+    "EvaluationStats",
     "FlowEngine",
     "IntervalContext",
     "IntervalTopKQuery",
     "IntervalUncertainty",
     "JoinObject",
+    "LruCache",
     "PathReachabilityConstraint",
     "PresenceEstimator",
     "RankedPoi",
@@ -62,6 +69,7 @@ __all__ = [
     "TopKUpdate",
     "TopologyChecker",
     "TrackingState",
+    "interval_context_from_entries",
     "interval_contexts",
     "interval_flows",
     "interval_uncertainty",
@@ -76,4 +84,5 @@ __all__ = [
     "snapshot_flows",
     "snapshot_mbr",
     "snapshot_region",
+    "snapshot_region_key",
 ]

@@ -7,24 +7,22 @@ R-tree, accumulate presence into per-POI flows, and rank.
 
 Besides serving as the paper's baseline, the flow maps these functions
 produce are the reference the join algorithms are validated against.
+
+All functions take an :class:`~repro.core.context.EvaluationContext`,
+which carries the evaluation parameters (deployment, ``v_max``, estimator,
+topology, allowance) and memoizes region construction and presence
+quadrature — repeated queries over the same data reuse both.
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from ...geometry import Region
 from ...index import ARTree, RTree
-from ...indoor.devices import Deployment
 from ...indoor.poi import Poi
-from ..presence import PresenceEstimator
+from ..context import EvaluationContext
 from ..queries import TopKResult, rank_top_k
 from ..states import interval_contexts, snapshot_contexts
-from ..uncertainty import (
-    TopologyChecker,
-    interval_uncertainty,
-    snapshot_region,
-)
 
 __all__ = [
     "snapshot_flows",
@@ -36,15 +34,16 @@ __all__ = [
 
 def _accumulate(
     flows: dict[str, float],
-    region: Region,
+    region,
+    fingerprint,
     poi_tree: RTree,
-    estimator: PresenceEstimator,
+    ctx: EvaluationContext,
 ) -> None:
     mbr = region.mbr
     if mbr is None:
         return
     for poi in poi_tree.search(mbr):
-        presence = estimator.presence(region, poi)
+        presence = ctx.presence(region, poi, fingerprint)
         if presence > 0.0:
             flows[poi.poi_id] = flows.get(poi.poi_id, 0.0) + presence
 
@@ -52,41 +51,37 @@ def _accumulate(
 def snapshot_flows(
     artree: ARTree,
     poi_tree: RTree,
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t: float,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
-    inner_allowance: float = 0.0,
 ) -> dict[str, float]:
     """``Φ_t(p)`` for every POI with non-zero flow (Definition 2)."""
     flows: dict[str, float] = {}
     for context in snapshot_contexts(artree, t):
-        region = snapshot_region(
-            context, deployment, v_max, topology, inner_allowance
+        region = ctx.snapshot_region(context)
+        _accumulate(
+            flows, region, ctx.snapshot_fingerprint(context), poi_tree, ctx
         )
-        _accumulate(flows, region, poi_tree, estimator)
     return flows
 
 
 def interval_flows(
     artree: ARTree,
     poi_tree: RTree,
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t_start: float,
     t_end: float,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
-    inner_allowance: float = 0.0,
 ) -> dict[str, float]:
     """``Φ_[t_s, t_e](p)`` for every POI with non-zero flow."""
     flows: dict[str, float] = {}
     for context in interval_contexts(artree, t_start, t_end):
-        uncertainty = interval_uncertainty(
-            context, deployment, v_max, topology, inner_allowance
+        uncertainty = ctx.interval_uncertainty(context)
+        _accumulate(
+            flows,
+            uncertainty.region,
+            ctx.interval_fingerprint(uncertainty),
+            poi_tree,
+            ctx,
         )
-        _accumulate(flows, uncertainty.region, poi_tree, estimator)
     return flows
 
 
@@ -94,19 +89,12 @@ def iterative_snapshot(
     artree: ARTree,
     poi_tree: RTree,
     pois: Sequence[Poi],
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t: float,
     k: int,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
-    inner_allowance: float = 0.0,
 ) -> TopKResult:
     """Algorithm 1: compute every snapshot flow, then take the top k."""
-    flows = snapshot_flows(
-        artree, poi_tree, deployment, v_max, t, estimator, topology,
-        inner_allowance,
-    )
+    flows = snapshot_flows(artree, poi_tree, ctx, t)
     return rank_top_k(flows, pois, k)
 
 
@@ -114,18 +102,11 @@ def iterative_interval(
     artree: ARTree,
     poi_tree: RTree,
     pois: Sequence[Poi],
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t_start: float,
     t_end: float,
     k: int,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
-    inner_allowance: float = 0.0,
 ) -> TopKResult:
     """Algorithm 4: compute every interval flow, then take the top k."""
-    flows = interval_flows(
-        artree, poi_tree, deployment, v_max, t_start, t_end, estimator,
-        topology, inner_allowance,
-    )
+    flows = interval_flows(artree, poi_tree, ctx, t_start, t_end)
     return rank_top_k(flows, pois, k)

@@ -26,21 +26,16 @@ from __future__ import annotations
 
 import heapq
 from itertools import count
-from typing import Callable, Sequence
+from typing import Callable, Hashable, Sequence
 
 from ...geometry import Mbr, Region
 from ...index import ARTree, AggregateRTree, RTree, RTreeEntry
-from ...indoor.devices import Deployment
 from ...indoor.poi import Poi
+from ..context import EvaluationContext
 from ..presence import PresenceEstimator
 from ..queries import RankedPoi, TopKResult, rank_top_k
 from ..states import interval_contexts, snapshot_contexts
-from ..uncertainty import (
-    TopologyChecker,
-    interval_uncertainty,
-    snapshot_mbr,
-    snapshot_region,
-)
+from ..uncertainty import snapshot_mbr
 
 __all__ = ["JoinObject", "join_snapshot", "join_interval"]
 
@@ -52,10 +47,18 @@ class JoinObject:
     built when some presence actually needs it — this laziness is the
     entire point of the join algorithms.  ``segment_mbrs`` carries the
     improved interval join's fine-grained boxes (``None`` for snapshot
-    queries or when the improvement is disabled).
+    queries or when the improvement is disabled).  ``region_key`` is the
+    region's presence-cache fingerprint, when known.
     """
 
-    __slots__ = ("object_id", "mbr", "segment_mbrs", "_factory", "_region")
+    __slots__ = (
+        "object_id",
+        "mbr",
+        "segment_mbrs",
+        "region_key",
+        "_factory",
+        "_region",
+    )
 
     def __init__(
         self,
@@ -63,10 +66,12 @@ class JoinObject:
         mbr: Mbr,
         region_factory: Callable[[], Region],
         segment_mbrs: tuple[Mbr, ...] | None = None,
+        region_key: Hashable | None = None,
     ):
         self.object_id = object_id
         self.mbr = mbr
         self.segment_mbrs = segment_mbrs
+        self.region_key = region_key
         self._factory = region_factory
         self._region: Region | None = None
 
@@ -110,13 +115,23 @@ def _topk_join(
     pois: Sequence[Poi],
     objects: Sequence[JoinObject],
     k: int,
-    estimator: PresenceEstimator,
+    estimator: PresenceEstimator | None = None,
     use_segment_mbrs: bool = False,
     rtree_fanout: int = 8,
+    presence: Callable[[JoinObject, Poi], float] | None = None,
 ) -> TopKResult:
-    """The shared best-first R_P x R_I join (Algorithms 2/5 unified)."""
+    """The shared best-first R_P x R_I join (Algorithms 2/5 unified).
+
+    Presence is evaluated through ``presence(obj, poi)`` when given (the
+    context-based entry points pass a memoizing closure); otherwise through
+    ``estimator`` directly.
+    """
     if k < 1:
         raise ValueError("k must be positive")
+    if presence is None:
+        if estimator is None:
+            raise ValueError("either an estimator or a presence function is needed")
+        presence = lambda obj, poi: estimator.presence(obj.region(), poi)
     if not objects or len(poi_tree) == 0:
         return rank_top_k({}, pois, k)
 
@@ -152,7 +167,7 @@ def _topk_join(
                 poi: Poi = poi_entry.item
                 flow = 0.0
                 for object_entry in join_list:
-                    flow += estimator.presence(object_entry.item.region(), poi)
+                    flow += presence(object_entry.item, poi)
                 if flow > 0.0:
                     push(poi_entry, None, flow)
             else:
@@ -199,36 +214,42 @@ def _topk_join(
 # ----------------------------------------------------------------------
 
 
+def _ctx_presence(
+    ctx: EvaluationContext,
+) -> Callable[[JoinObject, Poi], float]:
+    """Presence through the context's memo layer, keyed per join object."""
+    return lambda obj, poi: ctx.presence(obj.region(), poi, obj.region_key)
+
+
 def join_snapshot(
     artree: ARTree,
     poi_tree: RTree,
     pois: Sequence[Poi],
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t: float,
     k: int,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
-    rtree_fanout: int = 8,
-    inner_allowance: float = 0.0,
 ) -> TopKResult:
     """Algorithm 2: aggregate-R-tree join for the snapshot query."""
     objects: list[JoinObject] = []
     for context in snapshot_contexts(artree, t):
-        mbr = snapshot_mbr(context, deployment, v_max)
+        mbr = snapshot_mbr(context, ctx.deployment, ctx.v_max)
         if mbr is None:
             continue
         objects.append(
             JoinObject(
                 object_id=context.object_id,
                 mbr=mbr,
-                region_factory=lambda ctx=context: snapshot_region(
-                    ctx, deployment, v_max, topology, inner_allowance
-                ),
+                region_factory=lambda sctx=context: ctx.snapshot_region(sctx),
+                region_key=ctx.snapshot_fingerprint(context),
             )
         )
     return _topk_join(
-        poi_tree, pois, objects, k, estimator, rtree_fanout=rtree_fanout
+        poi_tree,
+        pois,
+        objects,
+        k,
+        rtree_fanout=ctx.rtree_fanout,
+        presence=_ctx_presence(ctx),
     )
 
 
@@ -241,16 +262,11 @@ def join_interval(
     artree: ARTree,
     poi_tree: RTree,
     pois: Sequence[Poi],
-    deployment: Deployment,
-    v_max: float,
+    ctx: EvaluationContext,
     t_start: float,
     t_end: float,
     k: int,
-    estimator: PresenceEstimator,
-    topology: TopologyChecker | None = None,
     use_segment_mbrs: bool = True,
-    rtree_fanout: int = 8,
-    inner_allowance: float = 0.0,
 ) -> TopKResult:
     """Algorithm 5: the interval join, with finer per-episode MBRs.
 
@@ -259,9 +275,7 @@ def join_interval(
     """
     objects: list[JoinObject] = []
     for context in interval_contexts(artree, t_start, t_end):
-        uncertainty = interval_uncertainty(
-            context, deployment, v_max, topology, inner_allowance
-        )
+        uncertainty = ctx.interval_uncertainty(context)
         overall_mbr = uncertainty.mbr
         if overall_mbr is None:
             continue
@@ -274,6 +288,7 @@ def join_interval(
                 mbr=overall_mbr,
                 region_factory=lambda u=uncertainty: u.region,
                 segment_mbrs=segments,
+                region_key=ctx.interval_fingerprint(uncertainty),
             )
         )
     return _topk_join(
@@ -281,7 +296,7 @@ def join_interval(
         pois,
         objects,
         k,
-        estimator,
         use_segment_mbrs=use_segment_mbrs,
-        rtree_fanout=rtree_fanout,
+        rtree_fanout=ctx.rtree_fanout,
+        presence=_ctx_presence(ctx),
     )

@@ -1,0 +1,78 @@
+"""Bounded LRU caching primitives shared by the evaluation layer.
+
+The query stack memoizes two expensive artifacts — uncertainty-region
+construction and presence quadrature — plus the per-POI sample grids of the
+presence estimator.  All three use the same policy: a bounded
+least-recently-used mapping whose capacity caps memory while keeping the
+hot working set (the regions and POIs a monitor touches every tick)
+resident.  A capacity of ``0`` disables a cache entirely, which the
+correctness tests use to compare cached against uncached evaluation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Callable, Generic, Hashable, TypeVar
+
+__all__ = ["LruCache"]
+
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class LruCache(Generic[V]):
+    """A bounded mapping evicting the least-recently-used entry.
+
+    ``capacity <= 0`` disables storage: every ``get`` misses and ``put`` is
+    a no-op, so callers can keep one code path for cached and uncached
+    operation.
+    """
+
+    __slots__ = ("capacity", "_entries")
+
+    def __init__(self, capacity: int):
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[Hashable, V] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def get(self, key: Hashable, default=None):
+        """The cached value (refreshed as most recently used), or default."""
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            return default
+        self._entries.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: V) -> None:
+        """Insert/refresh an entry, evicting the LRU one when over capacity."""
+        if self.capacity <= 0:
+            return
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        while len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def get_or_build(self, key: Hashable, builder: Callable[[], V]) -> tuple[V, bool]:
+        """``(value, was_hit)`` — building and storing the value on a miss."""
+        value = self._entries.get(key, _MISSING)
+        if value is not _MISSING:
+            self._entries.move_to_end(key)
+            return value, True
+        value = builder()
+        self.put(key, value)
+        return value, False
+
+    def clear(self) -> None:
+        self._entries.clear()

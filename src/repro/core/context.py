@@ -1,0 +1,312 @@
+"""The evaluation context: query parameters + memoization + instrumentation.
+
+Every query entry point used to thread six loose parameters (deployment,
+``v_max``, presence estimator, topology checker, inner allowance, R-tree
+fanout) through engine → algorithms → states → uncertainty, and every call
+re-derived each object's uncertainty region from scratch.  An
+:class:`EvaluationContext` bundles those parameters into one long-lived
+object that additionally owns two bounded LRU memo layers:
+
+* the **region cache** — keyed on ``(object_id, kind, quantized time
+  window, params-epoch)``, it returns previously constructed uncertainty
+  regions.  Interval regions are cached at *episode* granularity (one entry
+  per detection/gap/lead/trail piece), so a sliding window only rebuilds
+  the episodes whose effective time window actually changed — interior
+  detection disks and fully covered gap ellipses are reused tick after
+  tick;
+* the **presence cache** — keyed on ``(region fingerprint, poi_id)``, it
+  skips the grid quadrature for (region, POI) pairs already evaluated.  A
+  region's fingerprint is its region-cache key (snapshot) or the tuple of
+  its episode keys (interval), so identical regions share presence values
+  across queries and across the iterative/join strategies.
+
+The context also counts what the caches save: ``regions_computed``,
+``region_cache_hits``, ``presence_evaluations``, ``presence_cache_hits``
+and ``topology_prunes`` (indoor-reachability constraints constructed).
+:meth:`FlowEngine.stats` exposes these counters and the bench harness
+reports them, which is how the warm-cache speedups in ``benchmarks/`` are
+measured.
+
+Correctness notes: all cached artifacts are pure functions of the cache key
+plus the context's construction parameters, which are immutable — changing
+a query parameter (a new ``v_max``, another estimator resolution) means
+building a fresh context (see :meth:`EvaluationContext.replace`), whose
+caches start cold, so stale regions can never be served.  A context is tied
+to one tracking table: reuse it only across queries over the same (frozen)
+OTT, as :class:`~repro.core.engine.FlowEngine` does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Hashable
+
+from ..geometry import DEFAULT_RESOLUTION, Region
+from ..indoor.devices import Deployment, Device
+from .caching import LruCache
+from .presence import PresenceEstimator
+from .uncertainty.interval import IntervalUncertainty, interval_uncertainty
+from .uncertainty.snapshot import snapshot_region, snapshot_region_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..indoor.poi import Poi
+    from .states import IntervalContext, SnapshotContext
+    from .uncertainty.topology import TopologyChecker
+
+__all__ = ["EvaluationContext", "EvaluationStats"]
+
+#: Default capacities; sized for monitor workloads (thousands of objects,
+#: tens of POIs per region) while keeping worst-case memory modest.
+DEFAULT_REGION_CACHE_SIZE = 8192
+DEFAULT_PRESENCE_CACHE_SIZE = 65536
+
+
+@dataclass
+class EvaluationStats:
+    """Instrumentation counters accumulated by an evaluation context."""
+
+    regions_computed: int = 0
+    region_cache_hits: int = 0
+    presence_evaluations: int = 0
+    presence_cache_hits: int = 0
+    topology_prunes: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "regions_computed": self.regions_computed,
+            "region_cache_hits": self.region_cache_hits,
+            "presence_evaluations": self.presence_evaluations,
+            "presence_cache_hits": self.presence_cache_hits,
+            "topology_prunes": self.topology_prunes,
+        }
+
+    def reset(self) -> None:
+        self.regions_computed = 0
+        self.region_cache_hits = 0
+        self.presence_evaluations = 0
+        self.presence_cache_hits = 0
+        self.topology_prunes = 0
+
+
+class _CountingTopology:
+    """A :class:`TopologyChecker` proxy that counts constraint constructions.
+
+    Every ring/path constraint intersected into a region is one topology
+    pruning opportunity; the count feeds ``stats.topology_prunes``.
+    """
+
+    __slots__ = ("_checker", "_stats")
+
+    def __init__(self, checker: "TopologyChecker", stats: EvaluationStats):
+        self._checker = checker
+        self._stats = stats
+
+    def ring_constraint(self, device: Device, budget: float) -> Region:
+        self._stats.topology_prunes += 1
+        return self._checker.ring_constraint(device, budget)
+
+    def path_constraint(
+        self, device_a: Device, device_b: Device, budget: float
+    ) -> Region:
+        self._stats.topology_prunes += 1
+        return self._checker.path_constraint(device_a, device_b, budget)
+
+
+class EvaluationContext:
+    """Query parameters, memo layers and counters for one tracking table.
+
+    Parameters
+    ----------
+    deployment:
+        The positioning-device deployment regions are derived against.
+    v_max:
+        Maximum indoor movement speed (m/s) — the paper's ``V_max``.
+    estimator:
+        The presence estimator; built from ``resolution`` when omitted.
+    topology:
+        Optional indoor topology checker (Section 3.3); ``None`` ablates
+        the check.
+    inner_allowance:
+        Ring inner-exclusion relaxation in meters (sampled systems).
+    rtree_fanout:
+        Node capacity for per-query R-trees (POI subsets, join R_I).
+    resolution:
+        Presence quadrature resolution, used when ``estimator`` is omitted.
+    region_cache_size, presence_cache_size:
+        LRU capacities of the two memo layers; ``0`` disables a layer.
+    """
+
+    def __init__(
+        self,
+        deployment: Deployment,
+        v_max: float,
+        estimator: PresenceEstimator | None = None,
+        topology: "TopologyChecker | None" = None,
+        inner_allowance: float = 0.0,
+        rtree_fanout: int = 8,
+        resolution: int = DEFAULT_RESOLUTION,
+        region_cache_size: int = DEFAULT_REGION_CACHE_SIZE,
+        presence_cache_size: int = DEFAULT_PRESENCE_CACHE_SIZE,
+    ):
+        if v_max <= 0:
+            raise ValueError("v_max must be positive")
+        if inner_allowance < 0:
+            raise ValueError("inner_allowance must be non-negative")
+        self.deployment = deployment
+        self.v_max = float(v_max)
+        self.estimator = (
+            estimator
+            if estimator is not None
+            else PresenceEstimator(resolution=resolution)
+        )
+        self.topology = topology
+        self.inner_allowance = float(inner_allowance)
+        self.rtree_fanout = rtree_fanout
+        self.stats = EvaluationStats()
+        self._region_cache: LruCache[object] = LruCache(region_cache_size)
+        self._presence_cache: LruCache[float] = LruCache(presence_cache_size)
+        self._counted_topology = (
+            _CountingTopology(topology, self.stats) if topology is not None else None
+        )
+        # The params-epoch stamped into every cache key.  The parameters a
+        # cached region depends on are fixed at construction, so within one
+        # context the epoch is constant; it exists so entries from one
+        # parameterisation can never be confused with another's (e.g. after
+        # pickling round-trips or future in-place reconfiguration).
+        self.params_epoch: Hashable = (
+            round(self.v_max, 9),
+            round(self.inner_allowance, 9),
+            topology is not None,
+            self.estimator.resolution,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def replace(self, **overrides) -> "EvaluationContext":
+        """A fresh context (cold caches) with some parameters overridden.
+
+        This is *the* way to change a query parameter: caches are keyed per
+        context, so a replacement can never serve regions computed under
+        the old parameters.
+        """
+        settings = dict(
+            deployment=self.deployment,
+            v_max=self.v_max,
+            estimator=None if "resolution" in overrides else self.estimator,
+            topology=self.topology,
+            inner_allowance=self.inner_allowance,
+            rtree_fanout=self.rtree_fanout,
+            region_cache_size=self._region_cache.capacity,
+            presence_cache_size=self._presence_cache.capacity,
+        )
+        settings.update(overrides)
+        return EvaluationContext(**settings)
+
+    def clear_caches(self) -> None:
+        """Drop both memo layers (counters are kept; see ``reset_stats``)."""
+        self._region_cache.clear()
+        self._presence_cache.clear()
+
+    def reset_stats(self) -> None:
+        self.stats.reset()
+
+    def stats_dict(self) -> dict[str, int]:
+        """Counters plus current cache occupancy."""
+        stats = self.stats.as_dict()
+        stats["region_cache_entries"] = len(self._region_cache)
+        stats["presence_cache_entries"] = len(self._presence_cache)
+        return stats
+
+    # ------------------------------------------------------------------
+    # Region memo layer
+    # ------------------------------------------------------------------
+
+    def memo_region(self, key: tuple, builder: Callable[[], object]):
+        """Build-or-reuse one region-cache entry; counts the outcome.
+
+        ``key`` is the parameter-free part (``(kind, object_id, quantized
+        time window)``); the context stamps its params-epoch on top.
+        """
+        value, hit = self._region_cache.get_or_build(
+            (key, self.params_epoch), builder
+        )
+        if hit:
+            self.stats.region_cache_hits += 1
+        else:
+            self.stats.regions_computed += 1
+        return value
+
+    def snapshot_region(self, context: "SnapshotContext") -> Region:
+        """Memoized ``UR(o, t)`` for one snapshot context."""
+        return self.memo_region(
+            snapshot_region_key(context),
+            lambda: snapshot_region(
+                context,
+                self.deployment,
+                self.v_max,
+                self._counted_topology,
+                self.inner_allowance,
+            ),
+        )
+
+    def interval_uncertainty(self, context: "IntervalContext") -> IntervalUncertainty:
+        """``UR(o, [t_s, t_e])`` with per-episode memoization.
+
+        The episode list is reassembled per call (cheap), but each
+        episode's region construction goes through the region cache — a
+        sliding window therefore only computes the episodes whose effective
+        window changed.
+        """
+        return interval_uncertainty(
+            context,
+            self.deployment,
+            self.v_max,
+            self._counted_topology,
+            self.inner_allowance,
+            memo=self.memo_region,
+        )
+
+    # ------------------------------------------------------------------
+    # Presence memo layer
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def snapshot_fingerprint(context: "SnapshotContext") -> tuple:
+        """The presence-cache fingerprint of a snapshot region."""
+        return snapshot_region_key(context)
+
+    @staticmethod
+    def interval_fingerprint(uncertainty: IntervalUncertainty) -> tuple | None:
+        """The presence-cache fingerprint of an interval region.
+
+        The fingerprint is the tuple of episode keys: two interval regions
+        with identical episodes are geometrically identical, however the
+        query windows producing them were positioned.
+        """
+        keys = tuple(episode.key for episode in uncertainty.episodes)
+        if any(key is None for key in keys):
+            return None
+        return ("interval",) + keys
+
+    def presence(
+        self, region: Region, poi: "Poi", fingerprint: Hashable | None = None
+    ) -> float:
+        """Memoized presence ``area(UR ∩ p) / area(p)``.
+
+        ``fingerprint`` identifies the region's geometry; pass ``None`` for
+        regions not built through this context (no caching, still counted).
+        """
+        if fingerprint is None:
+            self.stats.presence_evaluations += 1
+            return self.estimator.presence(region, poi)
+        key = (fingerprint, poi.poi_id, self.params_epoch)
+        cached = self._presence_cache.get(key)
+        if cached is not None:
+            self.stats.presence_cache_hits += 1
+            return cached
+        self.stats.presence_evaluations += 1
+        value = self.estimator.presence(region, poi)
+        self._presence_cache.put(key, value)
+        return value

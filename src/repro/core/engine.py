@@ -5,17 +5,23 @@ query-ready object: indexes are built once (AR-tree over the OTT, R-tree
 over the POIs, door graph + distance oracle for the topology check) and the
 two top-k queries are exposed with both processing strategies.
 
+The engine holds one long-lived :class:`EvaluationContext` carrying the
+evaluation parameters and the region/presence memo layers, so repeated
+ad-hoc queries and monitor ticks reuse previously computed uncertainty
+regions and presence values; :meth:`FlowEngine.stats` reports what the
+caches saved.
+
 Typical use::
 
     engine = FlowEngine(plan, deployment, ott, pois, v_max=1.1)
     top = engine.snapshot_topk(t=3600.0, k=10)
     for row in top:
         print(row.poi.name, row.flow)
+    print(engine.stats())  # cache hits, regions computed, ...
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Sequence
 
 from ..geometry import DEFAULT_RESOLUTION, Region
@@ -33,15 +39,15 @@ from .algorithms.iterative import (
     snapshot_flows,
 )
 from .algorithms.join import join_interval, join_snapshot
+from .context import (
+    DEFAULT_PRESENCE_CACHE_SIZE,
+    DEFAULT_REGION_CACHE_SIZE,
+    EvaluationContext,
+)
 from .presence import PresenceEstimator
 from .queries import TopKResult, rank_top_k_by_density
-from .states import interval_contexts, snapshot_contexts
-from .uncertainty import (
-    IntervalUncertainty,
-    TopologyChecker,
-    interval_uncertainty,
-    snapshot_region,
-)
+from .states import interval_context_from_entries, snapshot_context
+from .uncertainty import IntervalUncertainty, TopologyChecker
 
 __all__ = ["FlowEngine"]
 
@@ -73,6 +79,10 @@ class FlowEngine:
         would be unsound.  Setting this to ``2 * sampling_interval``
         relaxes those exclusions by ``v_max * detection_slack`` meters.
         ``0.0`` (default) reproduces the paper's idealised model exactly.
+    region_cache_size, presence_cache_size:
+        LRU capacities of the evaluation context's memo layers; ``0``
+        disables a layer (useful to compare cached against uncached
+        evaluation — results are identical either way).
     """
 
     def __init__(
@@ -87,6 +97,8 @@ class FlowEngine:
         rtree_fanout: int = 8,
         artree_fanout: int = 16,
         detection_slack: float = 0.0,
+        region_cache_size: int = DEFAULT_REGION_CACHE_SIZE,
+        presence_cache_size: int = DEFAULT_PRESENCE_CACHE_SIZE,
     ):
         if v_max <= 0:
             raise ValueError("v_max must be positive")
@@ -95,22 +107,74 @@ class FlowEngine:
         if not pois:
             raise ValueError("the engine needs at least one POI")
         self.floorplan = floorplan
-        self.deployment = deployment
         self.ott = ott.freeze()
         self.pois = list(pois)
-        self.v_max = v_max
-        self.rtree_fanout = rtree_fanout
         self.artree = ARTree.build(self.ott, fanout=artree_fanout)
         self.poi_tree = build_poi_index(self.pois, max_entries=rtree_fanout)
-        self.estimator = PresenceEstimator(resolution=resolution)
-        self.topology: TopologyChecker | None = (
-            TopologyChecker(IndoorDistanceOracle(floorplan))
-            if topology_check
-            else None
-        )
         self.detection_slack = detection_slack
-        self.inner_allowance = v_max * detection_slack
+        self.ctx = EvaluationContext(
+            deployment=deployment,
+            v_max=v_max,
+            estimator=PresenceEstimator(resolution=resolution),
+            topology=(
+                TopologyChecker(IndoorDistanceOracle(floorplan))
+                if topology_check
+                else None
+            ),
+            inner_allowance=v_max * detection_slack,
+            rtree_fanout=rtree_fanout,
+            region_cache_size=region_cache_size,
+            presence_cache_size=presence_cache_size,
+        )
         self._pois_by_id = {poi.poi_id: poi for poi in self.pois}
+
+    # ------------------------------------------------------------------
+    # Evaluation parameters (delegated to the long-lived context)
+    # ------------------------------------------------------------------
+
+    @property
+    def deployment(self) -> Deployment:
+        return self.ctx.deployment
+
+    @property
+    def v_max(self) -> float:
+        return self.ctx.v_max
+
+    @property
+    def estimator(self) -> PresenceEstimator:
+        return self.ctx.estimator
+
+    @property
+    def topology(self) -> TopologyChecker | None:
+        return self.ctx.topology
+
+    @property
+    def inner_allowance(self) -> float:
+        return self.ctx.inner_allowance
+
+    @property
+    def rtree_fanout(self) -> int:
+        return self.ctx.rtree_fanout
+
+    # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, int]:
+        """Evaluation counters and cache occupancy since the last reset.
+
+        Keys: ``regions_computed``, ``region_cache_hits``,
+        ``presence_evaluations``, ``presence_cache_hits``,
+        ``topology_prunes``, ``region_cache_entries``,
+        ``presence_cache_entries``, ``estimator_cached_pois``.
+        """
+        stats = self.ctx.stats_dict()
+        stats["estimator_cached_pois"] = self.ctx.estimator.sample_cache_size
+        return stats
+
+    def reset_stats(self) -> None:
+        """Zero the evaluation counters (cache contents are kept)."""
+        self.ctx.reset_stats()
 
     # ------------------------------------------------------------------
     # POI subsets
@@ -125,7 +189,7 @@ class FlowEngine:
         subset = list(pois)
         if not subset:
             raise ValueError("the query POI set may not be empty")
-        return subset, build_poi_index(subset, max_entries=self.rtree_fanout)
+        return subset, build_poi_index(subset, max_entries=self.ctx.rtree_fanout)
 
     # ------------------------------------------------------------------
     # Top-k queries (Problems 1 and 2)
@@ -141,31 +205,10 @@ class FlowEngine:
         """Problem 1: the k POIs most visited at time point ``t``."""
         query_pois, poi_tree = self._query_pois(pois)
         if method == "join":
-            return join_snapshot(
-                self.artree,
-                poi_tree,
-                query_pois,
-                self.deployment,
-                self.v_max,
-                t,
-                k,
-                self.estimator,
-                self.topology,
-                rtree_fanout=self.rtree_fanout,
-                inner_allowance=self.inner_allowance,
-            )
+            return join_snapshot(self.artree, poi_tree, query_pois, self.ctx, t, k)
         if method == "iterative":
             return iterative_snapshot(
-                self.artree,
-                poi_tree,
-                query_pois,
-                self.deployment,
-                self.v_max,
-                t,
-                k,
-                self.estimator,
-                self.topology,
-                inner_allowance=self.inner_allowance,
+                self.artree, poi_tree, query_pois, self.ctx, t, k
             )
         raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
@@ -185,30 +228,15 @@ class FlowEngine:
                 self.artree,
                 poi_tree,
                 query_pois,
-                self.deployment,
-                self.v_max,
+                self.ctx,
                 t_start,
                 t_end,
                 k,
-                self.estimator,
-                self.topology,
                 use_segment_mbrs=use_segment_mbrs,
-                rtree_fanout=self.rtree_fanout,
-                inner_allowance=self.inner_allowance,
             )
         if method == "iterative":
             return iterative_interval(
-                self.artree,
-                poi_tree,
-                query_pois,
-                self.deployment,
-                self.v_max,
-                t_start,
-                t_end,
-                k,
-                self.estimator,
-                self.topology,
-                inner_allowance=self.inner_allowance,
+                self.artree, poi_tree, query_pois, self.ctx, t_start, t_end, k
             )
         raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
@@ -221,33 +249,14 @@ class FlowEngine:
     ) -> dict[str, float]:
         """``Φ_t(p)`` for every query POI with non-zero flow."""
         _, poi_tree = self._query_pois(pois)
-        return snapshot_flows(
-            self.artree,
-            poi_tree,
-            self.deployment,
-            self.v_max,
-            t,
-            self.estimator,
-            self.topology,
-            inner_allowance=self.inner_allowance,
-        )
+        return snapshot_flows(self.artree, poi_tree, self.ctx, t)
 
     def interval_flows(
         self, t_start: float, t_end: float, pois: Sequence[Poi] | None = None
     ) -> dict[str, float]:
         """``Φ_[t_s, t_e](p)`` for every query POI with non-zero flow."""
         _, poi_tree = self._query_pois(pois)
-        return interval_flows(
-            self.artree,
-            poi_tree,
-            self.deployment,
-            self.v_max,
-            t_start,
-            t_end,
-            self.estimator,
-            self.topology,
-            inner_allowance=self.inner_allowance,
-        )
+        return interval_flows(self.artree, poi_tree, self.ctx, t_start, t_end)
 
     # ------------------------------------------------------------------
     # Density variants (area-normalised ranking; cf. paper Section 6.2)
@@ -283,29 +292,34 @@ class FlowEngine:
     # ------------------------------------------------------------------
 
     def snapshot_region_of(self, object_id: ObjectId, t: float) -> Region | None:
-        """``UR(o, t)`` for one object, or ``None`` if not trackable at t."""
-        for context in snapshot_contexts(self.artree, t):
-            if context.object_id == object_id:
-                return snapshot_region(
-                    context,
-                    self.deployment,
-                    self.v_max,
-                    self.topology,
-                    self.inner_allowance,
-                )
+        """``UR(o, t)`` for one object, or ``None`` if not trackable at t.
+
+        Resolved through the AR-tree's per-object entry lookup, so the cost
+        is O(records of the object), independent of the population size.
+        """
+        for entry in self.artree.entries_for(object_id):
+            if entry.covers(t):
+                return self.ctx.snapshot_region(snapshot_context(entry, t))
         return None
 
     def interval_region_of(
         self, object_id: ObjectId, t_start: float, t_end: float
     ) -> IntervalUncertainty | None:
-        """``UR(o, [t_s, t_e])`` for one object, or ``None`` if irrelevant."""
-        for context in interval_contexts(self.artree, t_start, t_end):
-            if context.object_id == object_id:
-                return interval_uncertainty(
-                    context,
-                    self.deployment,
-                    self.v_max,
-                    self.topology,
-                    self.inner_allowance,
-                )
-        return None
+        """``UR(o, [t_s, t_e])`` for one object, or ``None`` if irrelevant.
+
+        Like :meth:`snapshot_region_of`, resolved per object rather than by
+        scanning every object relevant to the window.
+        """
+        if t_end < t_start:
+            raise ValueError("t_end precedes t_start")
+        entries = [
+            entry
+            for entry in self.artree.entries_for(object_id)
+            if entry.overlaps(t_start, t_end)
+        ]
+        if not entries:
+            return None
+        context = interval_context_from_entries(
+            object_id, entries, t_start, t_end
+        )
+        return self.ctx.interval_uncertainty(context)

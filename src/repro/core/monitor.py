@@ -8,9 +8,16 @@ monitors re-evaluate a top-k query as time advances and report *changes*:
 * :class:`SlidingIntervalTopKMonitor` — tracks Problem 2 over a sliding
   window ``[now - window, now]``.
 
-Evaluation is recompute-based (each tick is one engine query); the value
-added is the change tracking — which POIs entered and left the top-k, and
-how ranks moved — which is what downstream alerting consumes.
+Each tick is one engine query, but ticks are far from full recomputes: the
+engine's long-lived :class:`~repro.core.context.EvaluationContext` memoizes
+region construction and presence quadrature, so a sliding-interval tick
+only rebuilds the uncertainty episodes whose effective time window actually
+changed (interior detection disks and fully covered gap ellipses are served
+from the region cache) and re-evaluates presence only for regions whose
+geometry moved.  ``monitor.stats()`` (a :meth:`FlowEngine.stats` passthrough)
+shows the hit rates.  The value added on top is the change tracking — which
+POIs entered and left the top-k, and how ranks moved — which is what
+downstream alerting consumes.
 """
 
 from __future__ import annotations
@@ -103,6 +110,10 @@ class _BaseMonitor:
     def run(self, times: Sequence[float]) -> list[TopKUpdate]:
         """Advance through ``times`` and collect all updates."""
         return [self.advance(t) for t in times]
+
+    def stats(self) -> dict[str, int]:
+        """The engine's evaluation counters (cache hits, regions built)."""
+        return self.engine.stats()
 
 
 class SnapshotTopKMonitor(_BaseMonitor):

@@ -31,6 +31,7 @@ __all__ = [
     "IntervalContext",
     "snapshot_context",
     "snapshot_contexts",
+    "interval_context_from_entries",
     "interval_contexts",
 ]
 
@@ -112,6 +113,33 @@ def snapshot_contexts(artree: ARTree, t: float) -> list[SnapshotContext]:
     return [snapshot_context(entry, t) for entry in artree.point_query(t)]
 
 
+def interval_context_from_entries(
+    object_id: ObjectId,
+    entries: list[ARLeafEntry],
+    t_start: float,
+    t_end: float,
+) -> IntervalContext:
+    """Build one object's record chain from its overlapping leaf entries.
+
+    ``entries`` must all belong to ``object_id`` and overlap the window;
+    they are sorted in place by augmented interval.
+    """
+    entries.sort(key=lambda e: (e.t1, e.t2))
+    records = [entry.record for entry in entries]
+    first = entries[0]
+    if first.predecessor is not None and first.record.t_s > t_start:
+        # The chain's start record when the object is inactive at
+        # t_start (Table 3): the record just before the first gap the
+        # window touches.
+        records.insert(0, first.predecessor)
+    return IntervalContext(
+        object_id=object_id,
+        t_start=t_start,
+        t_end=t_end,
+        records=tuple(records),
+    )
+
+
 def interval_contexts(
     artree: ARTree, t_start: float, t_end: float
 ) -> list[IntervalContext]:
@@ -119,22 +147,7 @@ def interval_contexts(
     by_object: dict[ObjectId, list[ARLeafEntry]] = {}
     for entry in artree.range_query(t_start, t_end):
         by_object.setdefault(entry.object_id, []).append(entry)
-    contexts = []
-    for object_id, entries in by_object.items():
-        entries.sort(key=lambda e: (e.t1, e.t2))
-        records = [entry.record for entry in entries]
-        first = entries[0]
-        if first.predecessor is not None and first.record.t_s > t_start:
-            # The chain's start record when the object is inactive at
-            # t_start (Table 3): the record just before the first gap the
-            # window touches.
-            records.insert(0, first.predecessor)
-        contexts.append(
-            IntervalContext(
-                object_id=object_id,
-                t_start=t_start,
-                t_end=t_end,
-                records=tuple(records),
-            )
-        )
-    return contexts
+    return [
+        interval_context_from_entries(object_id, entries, t_start, t_end)
+        for object_id, entries in by_object.items()
+    ]

@@ -1,7 +1,7 @@
 """Uncertainty-region derivation (paper, Section 3)."""
 
 from .interval import Episode, IntervalUncertainty, interval_uncertainty
-from .snapshot import snapshot_mbr, snapshot_region
+from .snapshot import snapshot_mbr, snapshot_region, snapshot_region_key
 from .topology import (
     PathReachabilityConstraint,
     ReachabilityConstraint,
@@ -17,4 +17,5 @@ __all__ = [
     "interval_uncertainty",
     "snapshot_mbr",
     "snapshot_region",
+    "snapshot_region_key",
 ]

@@ -29,6 +29,7 @@ constraints into every episode (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from ...geometry import (
     EmptyRegion,
@@ -42,18 +43,30 @@ from ...geometry import (
 from ...indoor.devices import Deployment, Device
 from ...tracking.records import ObjectId, TrackingRecord
 from ..states import IntervalContext
-from .snapshot import slack_ring
+from .snapshot import quantize_time, slack_ring
 from .topology import TopologyChecker
 
 __all__ = ["Episode", "IntervalUncertainty", "interval_uncertainty"]
 
+#: A region memo hook: ``memo(key, builder) -> region``.  Keys are
+#: parameter-free tuples ``(kind, object_id, quantized time window ...)``;
+#: an :class:`~repro.core.context.EvaluationContext` passes its region
+#: cache here, stamping its params-epoch onto the key.
+RegionMemo = Callable[[tuple, Callable[[], Region]], Region]
+
 
 @dataclass(frozen=True)
 class Episode:
-    """One piece of an interval uncertainty region with its own MBR."""
+    """One piece of an interval uncertainty region with its own MBR.
+
+    ``key`` is the episode's region-cache key (``None`` for episodes built
+    outside the caching layer, e.g. in direct low-level use); the tuple of
+    a region's episode keys is its presence-cache fingerprint.
+    """
 
     kind: str  # "detection" | "gap" | "lead" | "trail"
     region: Region
+    key: tuple | None = None
 
     @property
     def mbr(self) -> Mbr | None:
@@ -101,23 +114,35 @@ def interval_uncertainty(
     v_max: float,
     topology: TopologyChecker | None = None,
     inner_allowance: float = 0.0,
+    memo: RegionMemo | None = None,
 ) -> IntervalUncertainty:
     """Derive the interval uncertainty region from a record chain.
 
     ``inner_allowance`` relaxes ring inner exclusions for sampled
     positioning systems; see
     :func:`repro.core.uncertainty.snapshot.snapshot_region`.
+
+    ``memo`` memoizes *episode* region construction.  Episode keys encode
+    only the involved devices and (quantized) effective time windows, not
+    the query window itself — so when a sliding window advances, interior
+    episodes (detection disks, fully covered gap ellipses) hit the memo and
+    only episodes cut by a window boundary are rebuilt.
     """
     if v_max <= 0:
         raise ValueError("v_max must be positive")
     t_start, t_end = context.t_start, context.t_end
     records = context.records
+    object_id = context.object_id
     episodes: list[Episode] = []
 
     for record in records:
         if record.overlaps(t_start, t_end):
             device = deployment.device(record.device_id)
-            episodes.append(Episode(kind="detection", region=device.range))
+            # The episode region is the device's (constant) detection disk:
+            # the key needs no time component at all.
+            key = ("detection", object_id, record.device_id)
+            region = _memoized(memo, key, lambda device=device: device.range)
+            episodes.append(Episode(kind="detection", region=region, key=key))
 
     for current, following in zip(records, records[1:]):
         episode = _gap_episode(
@@ -129,6 +154,8 @@ def interval_uncertainty(
             v_max,
             topology,
             inner_allowance,
+            object_id,
+            memo,
         )
         if episode is not None:
             episodes.append(episode)
@@ -145,6 +172,8 @@ def interval_uncertainty(
                 v_max * (first.t_s - t_start),
                 topology,
                 inner_allowance,
+                object_id,
+                memo,
             )
         )
     if last.t_e < t_end:
@@ -155,9 +184,17 @@ def interval_uncertainty(
                 v_max * (t_end - last.t_e),
                 topology,
                 inner_allowance,
+                object_id,
+                memo,
             )
         )
     return IntervalUncertainty(context.object_id, t_start, t_end, episodes)
+
+
+def _memoized(
+    memo: RegionMemo | None, key: tuple, builder: Callable[[], Region]
+) -> Region:
+    return memo(key, builder) if memo is not None else builder()
 
 
 def _gap_episode(
@@ -169,6 +206,8 @@ def _gap_episode(
     v_max: float,
     topology: TopologyChecker | None,
     inner_allowance: float = 0.0,
+    object_id: ObjectId | None = None,
+    memo: RegionMemo | None = None,
 ) -> Episode | None:
     """The extended-ellipse piece for one undetected gap, if it matters."""
     gap_start, gap_end = current.t_e, following.t_s
@@ -188,34 +227,53 @@ def _gap_episode(
         return None
     device_a = deployment.device(current.device_id)
     device_b = deployment.device(following.device_id)
-    total_budget = v_max * (gap_end - gap_start)
-    # Cheap Euclidean predicates first, indoor-distance constraints last:
-    # the intersection evaluates parts left to right on a shrinking point
-    # set, so the expensive topology checks only see survivors.
-    parts: list[Region] = [
-        ExtendedEllipse(device_a.range, device_b.range, total_budget)
-    ]
-    topo_parts: list[Region] = []
-    if topology is not None:
-        topo_parts.append(
-            topology.path_constraint(device_a, device_b, total_budget)
-        )
-    if overlap_end < gap_end:
-        # The window ends inside the gap (Cases 3 and 4): the object cannot
-        # have moved farther from dev_a than the time elapsed allows —
-        # Theta_e ∩ Ring_e.
-        budget = v_max * (overlap_end - gap_start)
-        parts.append(slack_ring(device_a.range, budget, inner_allowance))
+    # The region is fully determined by the devices, the gap boundaries and
+    # the part of the gap the window covers — NOT by the window ends
+    # themselves, so interior gaps stay cache-stable under sliding windows.
+    key = (
+        "gap",
+        object_id,
+        device_a.device_id,
+        device_b.device_id,
+        quantize_time(gap_start),
+        quantize_time(gap_end),
+        quantize_time(overlap_start),
+        quantize_time(overlap_end),
+    )
+
+    def build() -> Region:
+        total_budget = v_max * (gap_end - gap_start)
+        # Cheap Euclidean predicates first, indoor-distance constraints
+        # last: the intersection evaluates parts left to right on a
+        # shrinking point set, so the expensive topology checks only see
+        # survivors.
+        parts: list[Region] = [
+            ExtendedEllipse(device_a.range, device_b.range, total_budget)
+        ]
+        topo_parts: list[Region] = []
         if topology is not None:
-            topo_parts.append(topology.ring_constraint(device_a, budget))
-    if overlap_start > gap_start:
-        # The window starts inside the gap (Cases 2 and 4): the object must
-        # still reach dev_b in the remaining time — Theta_s ∩ Ring_s.
-        budget = v_max * (gap_end - overlap_start)
-        parts.append(slack_ring(device_b.range, budget, inner_allowance))
-        if topology is not None:
-            topo_parts.append(topology.ring_constraint(device_b, budget))
-    return Episode(kind="gap", region=intersect_all(parts + topo_parts))
+            topo_parts.append(
+                topology.path_constraint(device_a, device_b, total_budget)
+            )
+        if overlap_end < gap_end:
+            # The window ends inside the gap (Cases 3 and 4): the object
+            # cannot have moved farther from dev_a than the time elapsed
+            # allows — Theta_e ∩ Ring_e.
+            budget = v_max * (overlap_end - gap_start)
+            parts.append(slack_ring(device_a.range, budget, inner_allowance))
+            if topology is not None:
+                topo_parts.append(topology.ring_constraint(device_a, budget))
+        if overlap_start > gap_start:
+            # The window starts inside the gap (Cases 2 and 4): the object
+            # must still reach dev_b in the remaining time — Theta_s ∩
+            # Ring_s.
+            budget = v_max * (gap_end - overlap_start)
+            parts.append(slack_ring(device_b.range, budget, inner_allowance))
+            if topology is not None:
+                topo_parts.append(topology.ring_constraint(device_b, budget))
+        return intersect_all(parts + topo_parts)
+
+    return Episode(kind="gap", region=_memoized(memo, key, build), key=key)
 
 
 def _boundary_ring_episode(
@@ -224,9 +282,16 @@ def _boundary_ring_episode(
     budget: float,
     topology: TopologyChecker | None,
     inner_allowance: float = 0.0,
+    object_id: ObjectId | None = None,
+    memo: RegionMemo | None = None,
 ) -> Episode:
     budget = max(0.0, budget)
-    parts: list[Region] = [slack_ring(device.range, budget, inner_allowance)]
-    if topology is not None:
-        parts.append(topology.ring_constraint(device, budget))
-    return Episode(kind=kind, region=intersect_all(parts))
+    key = (kind, object_id, device.device_id, quantize_time(budget))
+
+    def build() -> Region:
+        parts: list[Region] = [slack_ring(device.range, budget, inner_allowance)]
+        if topology is not None:
+            parts.append(topology.ring_constraint(device, budget))
+        return intersect_all(parts)
+
+    return Episode(kind=kind, region=_memoized(memo, key, build), key=key)

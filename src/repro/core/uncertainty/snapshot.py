@@ -28,7 +28,40 @@ from ...indoor.devices import Deployment
 from ..states import SnapshotContext
 from .topology import TopologyChecker
 
-__all__ = ["snapshot_region", "snapshot_mbr"]
+__all__ = ["snapshot_region", "snapshot_region_key", "snapshot_mbr"]
+
+#: Cache keys quantize times to this many decimals (microseconds): times
+#: closer than that produce indistinguishable regions at any realistic
+#: ``v_max``, so they may share one cache entry.
+TIME_QUANTUM_DECIMALS = 6
+
+
+def quantize_time(t: float) -> float:
+    """A time value rounded to the cache-key quantum."""
+    return round(float(t), TIME_QUANTUM_DECIMALS)
+
+
+def snapshot_region_key(context: SnapshotContext) -> tuple:
+    """The region-cache key of ``UR(o, t)`` (without the params-epoch).
+
+    The key encodes everything the region depends on besides the evaluation
+    parameters — the involved devices and the (quantized) record boundary
+    times — so equal keys imply geometrically identical regions even across
+    distinct tracking tables.
+    """
+    qt = quantize_time
+    return (
+        "snapshot",
+        context.object_id,
+        qt(context.t),
+        None
+        if context.rd_pre is None
+        else (context.rd_pre.device_id, qt(context.rd_pre.t_e)),
+        None if context.rd_cov is None else context.rd_cov.device_id,
+        None
+        if context.rd_suc is None
+        else (context.rd_suc.device_id, qt(context.rd_suc.t_s)),
+    )
 
 
 def snapshot_region(

@@ -47,12 +47,12 @@ class Dataset:
         engine_kwargs.setdefault(
             "detection_slack", 2.0 * self.sampling_interval
         )
+        engine_kwargs.setdefault("v_max", self.v_max)
         return FlowEngine(
             floorplan=self.floorplan,
             deployment=self.deployment,
             ott=self.ott,
             pois=self.pois,
-            v_max=self.v_max,
             **engine_kwargs,
         )
 

@@ -100,6 +100,7 @@ class ARTree:
         self.fanout = fanout
         self._root: _ARNode | None = None
         self._size = 0
+        self._by_object: dict[ObjectId, tuple[ARLeafEntry, ...]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -125,6 +126,13 @@ class ARTree:
 
     def _bulk_load(self, entries: list[ARLeafEntry]) -> None:
         self._size = len(entries)
+        by_object: dict[ObjectId, list[ARLeafEntry]] = {}
+        for entry in entries:
+            by_object.setdefault(entry.object_id, []).append(entry)
+        self._by_object = {
+            object_id: tuple(sorted(group, key=lambda e: (e.t1, e.t2)))
+            for object_id, group in by_object.items()
+        }
         if not entries:
             self._root = None
             return
@@ -157,6 +165,19 @@ class ARTree:
 
     def __len__(self) -> int:
         return self._size
+
+    # ------------------------------------------------------------------
+    # Per-object access
+    # ------------------------------------------------------------------
+
+    def entries_for(self, object_id: ObjectId) -> tuple[ARLeafEntry, ...]:
+        """One object's leaf entries in time order (empty if unknown).
+
+        Single-object introspection (``FlowEngine.snapshot_region_of`` and
+        friends) resolves states from this direct lookup in O(records of
+        the object) instead of scanning every object's entries.
+        """
+        return self._by_object.get(object_id, ())
 
     # ------------------------------------------------------------------
     # Queries

@@ -83,6 +83,36 @@ class TestLeafEntrySemantics:
         assert not entry.overlaps(21.0, 30.0)
 
 
+class TestEntriesFor:
+    def test_returns_all_entries_of_an_object_in_time_order(self):
+        tree = ARTree.build(simple_ott())
+        entries = tree.entries_for("o1")
+        assert [e.record.record_id for e in entries] == [0, 1, 2]
+        assert all(e.object_id == "o1" for e in entries)
+        assert [(e.t1, e.t2) for e in entries] == sorted(
+            (e.t1, e.t2) for e in entries
+        )
+
+    def test_unknown_object_yields_empty_tuple(self):
+        tree = ARTree.build(simple_ott())
+        assert tree.entries_for("ghost") == ()
+        assert ARTree.build(make_ott([])).entries_for("o1") == ()
+
+    def test_agrees_with_point_queries(self):
+        tree = ARTree.build(simple_ott())
+        for t in (10.0, 25.0, 58.0):
+            by_point = {
+                (e.object_id, e.record.record_id) for e in tree.point_query(t)
+            }
+            for object_id in ("o1", "o2"):
+                covered = [
+                    e for e in tree.entries_for(object_id) if e.covers(t)
+                ]
+                assert len(covered) <= 1
+                for entry in covered:
+                    assert (object_id, entry.record.record_id) in by_point
+
+
 class TestPointQuery:
     def test_active_time(self):
         tree = ARTree.build(simple_ott())
