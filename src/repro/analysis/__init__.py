@@ -1,0 +1,49 @@
+"""Static analysis and runtime contracts for the query engine.
+
+The evaluation stack caches uncertainty regions and presence values
+(:mod:`repro.core.context`), so a single silently broken invariant — a
+presence outside ``[0, 1]``, a negative region area, an unseeded RNG in a
+workload generator, or a region built outside the caching layer — is
+amplified into every downstream snapshot/interval top-k answer.  This
+package is the correctness tooling that keeps those invariants machine
+checked:
+
+* :mod:`repro.analysis.linter` — an AST-based lint pass with repo-specific
+  rules derived from the paper (``python -m repro.analysis src tests``);
+* :mod:`repro.analysis.rules` — the individual rules, each documenting the
+  paper equation or architectural invariant it protects;
+* :mod:`repro.analysis.contracts` — lightweight runtime contract checks at
+  the engine seams, enabled with ``REPRO_CONTRACTS=1``.
+"""
+
+from .contracts import (
+    ContractViolation,
+    check_area,
+    check_cached_value,
+    check_flow,
+    check_presence,
+    check_region_fingerprint,
+    check_upper_bound,
+    contracts_enabled,
+    set_contracts,
+)
+from .linter import Diagnostic, LintReport, lint_paths, main
+from .rules import ALL_RULES, rules_by_name
+
+__all__ = [
+    "ALL_RULES",
+    "ContractViolation",
+    "Diagnostic",
+    "LintReport",
+    "check_area",
+    "check_cached_value",
+    "check_flow",
+    "check_presence",
+    "check_region_fingerprint",
+    "check_upper_bound",
+    "contracts_enabled",
+    "lint_paths",
+    "main",
+    "rules_by_name",
+    "set_contracts",
+]

@@ -1,0 +1,234 @@
+"""The repo-specific AST lint pass.
+
+Generic linters cannot know that ``φ(o)`` is a probability, that uncertainty
+regions must be built through :class:`~repro.core.context.EvaluationContext`
+or that benchmark hot paths may not read wall clocks.  This module provides
+the small framework — diagnostics, suppression comments, file walking and
+the CLI — while the rules themselves live in :mod:`repro.analysis.rules`,
+each documenting the paper invariant it protects.
+
+Suppressions
+------------
+
+A diagnostic is suppressed by a pragma comment naming its rule, either on
+the flagged line or on the line directly above it::
+
+    value = snapshot_region(ctx, ...)  # repro: allow(context-bypass): unit test of the low-level builder
+
+    # repro: allow(float-equality): sentinel comparison, value is exact
+    if marker == 1.0:
+
+A whole file opts out of one rule with a file-level pragma anywhere in the
+file (used by unit tests that exist to exercise a low-level API)::
+
+    # repro: allow-file(context-bypass): this file tests snapshot_region itself
+
+Several rules can be named at once, comma separated.  Pragmas should carry
+a justification after a colon; the linter does not parse it, reviewers do.
+
+Usage
+-----
+
+``python -m repro.analysis [paths ...]`` lints the given files/directories
+(defaulting to ``src`` and ``tests``) and exits non-zero when any
+diagnostic survives suppression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import re
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
+    # rules import the Rule base class from this module)
+    from .rules import Rule
+
+__all__ = ["Diagnostic", "LintReport", "lint_file", "lint_paths", "main"]
+
+#: ``# repro: allow(rule-a, rule-b)`` / ``# repro: allow-file(rule)``;
+#: anything after a closing parenthesis (the justification) is free text.
+_PRAGMA = re.compile(r"#\s*repro:\s*allow(?P<scope>-file)?\(\s*(?P<rules>[^)]*)\)")
+
+
+@dataclass(frozen=True, slots=True)
+class Diagnostic:
+    """One finding: a rule violation at a source location."""
+
+    path: str
+    line: int
+    column: int
+    rule: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
+
+
+@dataclass(slots=True)
+class LintReport:
+    """The outcome of linting a set of files."""
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+    errors: list[str] = field(default_factory=list)
+    """Files that could not be parsed (reported, and fail the run)."""
+
+    @property
+    def ok(self) -> bool:
+        return not self.diagnostics and not self.errors
+
+
+@dataclass(frozen=True, slots=True)
+class _Suppressions:
+    """Parsed pragma comments of one file."""
+
+    by_line: dict[int, frozenset[str]]
+    file_wide: frozenset[str]
+
+    def covers(self, diagnostic: Diagnostic) -> bool:
+        if diagnostic.rule in self.file_wide:
+            return True
+        for line in (diagnostic.line, diagnostic.line - 1):
+            if diagnostic.rule in self.by_line.get(line, frozenset()):
+                return True
+        return False
+
+
+def _parse_suppressions(source: str) -> _Suppressions:
+    by_line: dict[int, frozenset[str]] = {}
+    file_wide: set[str] = set()
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA.search(text)
+        if match is None:
+            continue
+        names = frozenset(
+            name.strip() for name in match.group("rules").split(",") if name.strip()
+        )
+        if match.group("scope"):
+            file_wide.update(names)
+        else:
+            by_line[lineno] = by_line.get(lineno, frozenset()) | names
+    return _Suppressions(by_line=by_line, file_wide=frozenset(file_wide))
+
+
+def lint_file(
+    path: Path, rules: Sequence["Rule"], report: LintReport
+) -> None:
+    """Lint one file into ``report``."""
+    try:
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+    except (OSError, SyntaxError, ValueError) as exc:
+        report.errors.append(f"{path}: {exc}")
+        return
+    report.files_checked += 1
+    suppressions = _parse_suppressions(source)
+    for rule in rules:
+        if not rule.applies_to(path):
+            continue
+        for diagnostic in rule.check(tree, str(path)):
+            if suppressions.covers(diagnostic):
+                report.suppressed += 1
+            else:
+                report.diagnostics.append(diagnostic)
+
+
+def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            yield from sorted(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        else:
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[Path | str], rules: Sequence["Rule"] | None = None
+) -> LintReport:
+    """Lint files and directories (recursively) with ``rules``.
+
+    ``rules=None`` uses :data:`repro.analysis.rules.ALL_RULES`.
+    """
+    if rules is None:
+        from .rules import ALL_RULES
+
+        rules = ALL_RULES
+    report = LintReport()
+    for path in _iter_python_files(Path(p) for p in paths):
+        lint_file(path, rules, report)
+    report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
+    return report
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    from .rules import ALL_RULES, rules_by_name
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Paper-invariant static checks for the repro codebase.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="run only the named rule (repeatable)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the available rules and exit",
+    )
+    args = parser.parse_args(argv)
+
+    registry = rules_by_name()
+    if args.list_rules:
+        for name in sorted(registry):
+            rule = registry[name]
+            print(f"{name:20s} {rule.description}")
+            if rule.paper_ref:
+                print(f"{'':20s} protects: {rule.paper_ref}")
+        return 0
+
+    if args.rule:
+        unknown = [name for name in args.rule if name not in registry]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            print(f"available: {', '.join(sorted(registry))}", file=sys.stderr)
+            return 2
+        rules: Sequence["Rule"] = [registry[name] for name in args.rule]
+    else:
+        rules = ALL_RULES
+
+    missing = [path for path in args.paths if not Path(path).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths, rules)
+    for diagnostic in report.diagnostics:
+        print(diagnostic.format())
+    for error in report.errors:
+        print(f"error: {error}", file=sys.stderr)
+    summary = (
+        f"{len(report.diagnostics)} finding(s), {report.suppressed} suppressed, "
+        f"{report.files_checked} file(s) checked"
+    )
+    print(summary, file=sys.stderr)
+    return 0 if report.ok else 1

@@ -1,0 +1,42 @@
+"""The rule protocol shared by all lint rules."""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..linter import Diagnostic
+
+__all__ = ["Rule"]
+
+
+class Rule:
+    """One named check over a parsed module.
+
+    Subclasses set ``name`` (the suppression token), ``description`` (one
+    line for ``--list-rules``) and ``paper_ref`` (the paper equation or
+    architectural invariant the rule protects), and implement
+    :meth:`check`.
+    """
+
+    name: str = ""
+    description: str = ""
+    paper_ref: str = ""
+
+    def applies_to(self, path: Path) -> bool:
+        """Whether the rule runs on ``path`` at all (default: every file)."""
+        return True
+
+    def check(self, tree: ast.Module, path: str) -> list[Diagnostic]:
+        """All violations in ``tree``."""
+        raise NotImplementedError
+
+    def diagnostic(self, path: str, node: ast.AST, message: str) -> Diagnostic:
+        """A diagnostic anchored at ``node``'s location."""
+        return Diagnostic(
+            path=path,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0) + 1,
+            rule=self.name,
+            message=message,
+        )

@@ -1,0 +1,99 @@
+"""Rule: uncertainty regions are built through the EvaluationContext.
+
+The context's region/presence caches (PR 1) are only coherent if every
+region derivation goes through :meth:`EvaluationContext.snapshot_region` /
+:meth:`EvaluationContext.interval_uncertainty` — a direct call to the
+low-level builders skips the memo layer, the stats counters and the
+params-epoch stamping, so cached and fresh answers can silently diverge.
+This rule flags imports and bare calls of the low-level builders outside
+the modules that implement the caching layer itself.
+
+``__init__.py`` re-exports are exempt (the names stay public for low-level
+use, e.g. ablation studies — which then carry an explicit suppression).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from ..linter import Diagnostic
+from .base import Rule
+
+__all__ = ["ContextBypassRule"]
+
+#: The low-level builder functions owned by the caching layer.
+_GUARDED = frozenset({"snapshot_region", "interval_uncertainty"})
+
+#: Path fragments of the modules allowed to touch the builders directly:
+#: the context itself and the uncertainty package implementing them.
+_ALLOWED_FRAGMENTS = (
+    ("core", "uncertainty"),
+    ("core", "context.py"),
+    ("repro", "analysis"),
+)
+
+
+def _is_allowed(path: Path) -> bool:
+    parts = path.parts
+    for fragment in _ALLOWED_FRAGMENTS:
+        for i in range(len(parts) - len(fragment) + 1):
+            if parts[i : i + len(fragment)] == fragment:
+                return True
+    return False
+
+
+class ContextBypassRule(Rule):
+    name = "context-bypass"
+    description = (
+        "no direct snapshot_region()/interval_uncertainty() outside the "
+        "EvaluationContext caching layer"
+    )
+    paper_ref = (
+        "PR 1 cache coherence: memoized UR(o, t) / UR(o, [ts, te]) must be "
+        "the only derivation path (Sections 3.1-3.2)"
+    )
+
+    def applies_to(self, path: Path) -> bool:
+        return not _is_allowed(path)
+
+    def check(self, tree: ast.Module, path: str) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        is_reexport_module = Path(path).name == "__init__.py"
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and not is_reexport_module:
+                for alias in node.names:
+                    if alias.name in _GUARDED:
+                        diagnostics.append(
+                            self.diagnostic(
+                                path,
+                                node,
+                                f"import of low-level {alias.name}(); derive "
+                                f"regions through EvaluationContext.{alias.name} "
+                                "so the memo layer stays coherent",
+                            )
+                        )
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    if "core.uncertainty" in alias.name:
+                        diagnostics.append(
+                            self.diagnostic(
+                                path,
+                                node,
+                                f"import of {alias.name}; derive regions "
+                                "through EvaluationContext instead of the "
+                                "uncertainty modules",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Name) and func.id in _GUARDED:
+                    diagnostics.append(
+                        self.diagnostic(
+                            path,
+                            node,
+                            f"direct {func.id}() call bypasses the "
+                            "EvaluationContext region cache",
+                        )
+                    )
+        return diagnostics

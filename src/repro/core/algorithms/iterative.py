@@ -16,8 +16,10 @@ quadrature — repeated queries over the same data reuse both.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Hashable, Sequence
 
+from ...analysis.contracts import check_flow, contracts_enabled
+from ...geometry import Region
 from ...index import ARTree, RTree
 from ...indoor.poi import Poi
 from ..context import EvaluationContext
@@ -34,8 +36,8 @@ __all__ = [
 
 def _accumulate(
     flows: dict[str, float],
-    region,
-    fingerprint,
+    region: Region,
+    fingerprint: Hashable | None,
     poi_tree: RTree,
     ctx: EvaluationContext,
 ) -> None:
@@ -56,11 +58,16 @@ def snapshot_flows(
 ) -> dict[str, float]:
     """``Φ_t(p)`` for every POI with non-zero flow (Definition 2)."""
     flows: dict[str, float] = {}
+    candidates = 0
     for context in snapshot_contexts(artree, t):
+        candidates += 1
         region = ctx.snapshot_region(context)
         _accumulate(
             flows, region, ctx.snapshot_fingerprint(context), poi_tree, ctx
         )
+    if contracts_enabled():
+        for poi_id, flow in flows.items():
+            check_flow(flow, candidates, poi_id=poi_id)
     return flows
 
 
@@ -73,7 +80,9 @@ def interval_flows(
 ) -> dict[str, float]:
     """``Φ_[t_s, t_e](p)`` for every POI with non-zero flow."""
     flows: dict[str, float] = {}
+    candidates = 0
     for context in interval_contexts(artree, t_start, t_end):
+        candidates += 1
         uncertainty = ctx.interval_uncertainty(context)
         _accumulate(
             flows,
@@ -82,6 +91,9 @@ def interval_flows(
             poi_tree,
             ctx,
         )
+    if contracts_enabled():
+        for poi_id, flow in flows.items():
+            check_flow(flow, candidates, poi_id=poi_id)
     return flows
 
 

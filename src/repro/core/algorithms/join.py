@@ -28,6 +28,7 @@ import heapq
 from itertools import count
 from typing import Callable, Hashable, Sequence
 
+from ...analysis.contracts import check_flow, check_upper_bound, contracts_enabled
 from ...geometry import Mbr, Region
 from ...index import ARTree, AggregateRTree, RTree, RTreeEntry
 from ...indoor.poi import Poi
@@ -62,7 +63,7 @@ class JoinObject:
 
     def __init__(
         self,
-        object_id,
+        object_id: str,
         mbr: Mbr,
         region_factory: Callable[[], Region],
         segment_mbrs: tuple[Mbr, ...] | None = None,
@@ -139,9 +140,13 @@ def _topk_join(
         [(obj.mbr, obj) for obj in objects], max_entries=rtree_fanout
     )
     sequence = count()
-    heap: list = []
+    heap: list[
+        tuple[float, int, RTreeEntry, list[RTreeEntry] | None]
+    ] = []
 
-    def push(entry: RTreeEntry, join_list, priority: float) -> None:
+    def push(
+        entry: RTreeEntry, join_list: list[RTreeEntry] | None, priority: float
+    ) -> None:
         heapq.heappush(heap, (-priority, next(sequence), entry, join_list))
 
     for poi_entry in poi_tree.root.entries:
@@ -168,6 +173,14 @@ def _topk_join(
                 flow = 0.0
                 for object_entry in join_list:
                     flow += presence(object_entry.item, poi)
+                if contracts_enabled():
+                    # The count bound the queue scheduled this POI under
+                    # must dominate the refined flow, or best-first order
+                    # was wrong (Section 4.2's correctness argument).
+                    check_flow(flow, len(join_list), poi_id=poi.poi_id)
+                    check_upper_bound(
+                        -negative_priority, flow, poi_id=poi.poi_id
+                    )
                 if flow > 0.0:
                     push(poi_entry, None, flow)
             else:

@@ -18,8 +18,6 @@ __all__ = ["LruCache"]
 
 V = TypeVar("V")
 
-_MISSING = object()
-
 
 class LruCache(Generic[V]):
     """A bounded mapping evicting the least-recently-used entry.
@@ -45,13 +43,13 @@ class LruCache(Generic[V]):
     def enabled(self) -> bool:
         return self.capacity > 0
 
-    def get(self, key: Hashable, default=None):
+    def get(self, key: Hashable, default: V | None = None) -> V | None:
         """The cached value (refreshed as most recently used), or default."""
-        value = self._entries.get(key, _MISSING)
-        if value is _MISSING:
+        entries = self._entries
+        if key not in entries:
             return default
-        self._entries.move_to_end(key)
-        return value
+        entries.move_to_end(key)
+        return entries[key]
 
     def put(self, key: Hashable, value: V) -> None:
         """Insert/refresh an entry, evicting the LRU one when over capacity."""
@@ -66,10 +64,10 @@ class LruCache(Generic[V]):
 
     def get_or_build(self, key: Hashable, builder: Callable[[], V]) -> tuple[V, bool]:
         """``(value, was_hit)`` — building and storing the value on a miss."""
-        value = self._entries.get(key, _MISSING)
-        if value is not _MISSING:
-            self._entries.move_to_end(key)
-            return value, True
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+            return entries[key], True
         value = builder()
         self.put(key, value)
         return value, False

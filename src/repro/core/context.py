@@ -39,9 +39,15 @@ OTT, as :class:`~repro.core.engine.FlowEngine` does.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Hashable
+from typing import TYPE_CHECKING, Any, Callable, Hashable, TypeVar, cast
 
-from ..geometry import DEFAULT_RESOLUTION, Region
+from ..analysis.contracts import (
+    check_cached_value,
+    check_presence,
+    check_region_fingerprint,
+    contracts_enabled,
+)
+from ..geometry import DEFAULT_RESOLUTION, Mbr, Region
 from ..indoor.devices import Deployment, Device
 from .caching import LruCache
 from .presence import PresenceEstimator
@@ -54,6 +60,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .uncertainty.topology import TopologyChecker
 
 __all__ = ["EvaluationContext", "EvaluationStats"]
+
+_R = TypeVar("_R")
 
 #: Default capacities; sized for monitor workloads (thousands of objects,
 #: tens of POIs per region) while keeping worst-case memory modest.
@@ -86,6 +94,19 @@ class EvaluationStats:
         self.presence_evaluations = 0
         self.presence_cache_hits = 0
         self.topology_prunes = 0
+
+
+def _mbr_fingerprint(value: object) -> tuple[float, float, float, float] | None:
+    """The (min_x, min_y, max_x, max_y) fingerprint of a cached region.
+
+    Cached values are regions (snapshot entries) or episode regions
+    (interval entries); both expose ``.mbr``.  ``None`` for empty regions
+    and for cache values without an MBR (nothing to compare).
+    """
+    mbr = getattr(value, "mbr", None)
+    if not isinstance(mbr, Mbr):
+        return None
+    return (mbr.min_x, mbr.min_y, mbr.max_x, mbr.max_y)
 
 
 class _CountingTopology:
@@ -184,14 +205,14 @@ class EvaluationContext:
     # Lifecycle
     # ------------------------------------------------------------------
 
-    def replace(self, **overrides) -> "EvaluationContext":
+    def replace(self, **overrides: Any) -> "EvaluationContext":
         """A fresh context (cold caches) with some parameters overridden.
 
         This is *the* way to change a query parameter: caches are keyed per
         context, so a replacement can never serve regions computed under
         the old parameters.
         """
-        settings = dict(
+        settings: dict[str, Any] = dict(
             deployment=self.deployment,
             v_max=self.v_max,
             estimator=None if "resolution" in overrides else self.estimator,
@@ -223,17 +244,32 @@ class EvaluationContext:
     # Region memo layer
     # ------------------------------------------------------------------
 
-    def memo_region(self, key: tuple, builder: Callable[[], object]):
+    def memo_region(
+        self, key: tuple[Hashable, ...], builder: Callable[[], _R]
+    ) -> _R:
         """Build-or-reuse one region-cache entry; counts the outcome.
 
         ``key`` is the parameter-free part (``(kind, object_id, quantized
         time window)``); the context stamps its params-epoch on top.
+
+        Under ``REPRO_CONTRACTS=1`` every cache hit is verified against a
+        fresh rebuild (MBR fingerprints must agree) — the PR 1 coherence
+        invariant.  The verification rebuild runs outside the counters, but
+        its topology constraint constructions do inflate
+        ``topology_prunes``; contract mode trades stats purity for checking.
         """
-        value, hit = self._region_cache.get_or_build(
+        raw, hit = self._region_cache.get_or_build(
             (key, self.params_epoch), builder
         )
+        value = cast(_R, raw)
         if hit:
             self.stats.region_cache_hits += 1
+            if contracts_enabled():
+                check_region_fingerprint(
+                    _mbr_fingerprint(value),
+                    _mbr_fingerprint(builder()),
+                    key=key,
+                )
         else:
             self.stats.regions_computed += 1
         return value
@@ -273,12 +309,14 @@ class EvaluationContext:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def snapshot_fingerprint(context: "SnapshotContext") -> tuple:
+    def snapshot_fingerprint(context: "SnapshotContext") -> tuple[Hashable, ...]:
         """The presence-cache fingerprint of a snapshot region."""
         return snapshot_region_key(context)
 
     @staticmethod
-    def interval_fingerprint(uncertainty: IntervalUncertainty) -> tuple | None:
+    def interval_fingerprint(
+        uncertainty: IntervalUncertainty,
+    ) -> tuple[Hashable, ...] | None:
         """The presence-cache fingerprint of an interval region.
 
         The fingerprint is the tuple of episode keys: two interval regions
@@ -300,13 +338,26 @@ class EvaluationContext:
         """
         if fingerprint is None:
             self.stats.presence_evaluations += 1
-            return self.estimator.presence(region, poi)
+            return check_presence(
+                self.estimator.presence(region, poi),
+                where=f"presence in POI {poi.poi_id!r}",
+            )
         key = (fingerprint, poi.poi_id, self.params_epoch)
         cached = self._presence_cache.get(key)
         if cached is not None:
             self.stats.presence_cache_hits += 1
+            if contracts_enabled():
+                check_cached_value(
+                    cached,
+                    self.estimator.presence(region, poi),
+                    what=f"presence in POI {poi.poi_id!r}",
+                    key=fingerprint,
+                )
             return cached
         self.stats.presence_evaluations += 1
-        value = self.estimator.presence(region, poi)
+        value = check_presence(
+            self.estimator.presence(region, poi),
+            where=f"presence in POI {poi.poi_id!r}",
+        )
         self._presence_cache.put(key, value)
         return value

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..analysis.contracts import check_presence
 from ..geometry import DEFAULT_RESOLUTION, Region, polygon_grid_points
 from ..indoor.poi import Poi
 from .caching import LruCache
@@ -66,4 +67,7 @@ class PresenceEstimator:
             return 0.0
         xs, ys = self.samples_of(poi)
         inside = region.contains_many(xs, ys)
-        return float(inside.sum()) / float(len(xs))
+        return check_presence(
+            float(inside.sum()) / float(len(xs)),
+            where=f"presence in POI {poi.poi_id!r}",
+        )

@@ -15,7 +15,7 @@ Flows are weighted counts: each object contributes its presence (a value in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Iterator, Mapping, Sequence, overload
 
 from ..indoor.poi import Poi
 
@@ -72,10 +72,16 @@ class TopKResult:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[RankedPoi]:
         return iter(self.entries)
 
-    def __getitem__(self, index):
+    @overload
+    def __getitem__(self, index: int) -> RankedPoi: ...
+
+    @overload
+    def __getitem__(self, index: slice) -> tuple[RankedPoi, ...]: ...
+
+    def __getitem__(self, index: int | slice) -> RankedPoi | tuple[RankedPoi, ...]:
         return self.entries[index]
 
     @property

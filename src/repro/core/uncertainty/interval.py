@@ -29,7 +29,7 @@ constraints into every episode (Section 3.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Hashable
 
 from ...geometry import (
     EmptyRegion,
@@ -52,7 +52,7 @@ __all__ = ["Episode", "IntervalUncertainty", "interval_uncertainty"]
 #: parameter-free tuples ``(kind, object_id, quantized time window ...)``;
 #: an :class:`~repro.core.context.EvaluationContext` passes its region
 #: cache here, stamping its params-epoch onto the key.
-RegionMemo = Callable[[tuple, Callable[[], Region]], Region]
+RegionMemo = Callable[[tuple[Hashable, ...], Callable[[], Region]], Region]
 
 
 @dataclass(frozen=True)
@@ -66,7 +66,7 @@ class Episode:
 
     kind: str  # "detection" | "gap" | "lead" | "trail"
     region: Region
-    key: tuple | None = None
+    key: tuple[Hashable, ...] | None = None
 
     @property
     def mbr(self) -> Mbr | None:
@@ -192,7 +192,9 @@ def interval_uncertainty(
 
 
 def _memoized(
-    memo: RegionMemo | None, key: tuple, builder: Callable[[], Region]
+    memo: RegionMemo | None,
+    key: tuple[Hashable, ...],
+    builder: Callable[[], Region],
 ) -> Region:
     return memo(key, builder) if memo is not None else builder()
 

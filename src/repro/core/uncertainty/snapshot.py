@@ -23,8 +23,11 @@ simply the covering range.
 
 from __future__ import annotations
 
+from typing import Hashable
+
 from ...geometry import Circle, Mbr, Region, Ring, intersect_all
 from ...indoor.devices import Deployment
+from ...tracking.records import DeviceId
 from ..states import SnapshotContext
 from .topology import TopologyChecker
 
@@ -41,7 +44,7 @@ def quantize_time(t: float) -> float:
     return round(float(t), TIME_QUANTUM_DECIMALS)
 
 
-def snapshot_region_key(context: SnapshotContext) -> tuple:
+def snapshot_region_key(context: SnapshotContext) -> tuple[Hashable, ...]:
     """The region-cache key of ``UR(o, t)`` (without the params-epoch).
 
     The key encodes everything the region depends on besides the evaluation
@@ -139,7 +142,7 @@ def slack_ring(range_circle: Circle, budget: float, inner_allowance: float) -> R
 def _append_ring(
     parts: list[Region],
     deployment: Deployment,
-    device_id,
+    device_id: DeviceId,
     budget: float,
     topology: TopologyChecker | None,
     inner_allowance: float = 0.0,

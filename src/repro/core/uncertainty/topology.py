@@ -29,11 +29,16 @@ a deployment is small and static, so the cache converges quickly.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from ...geometry import Mbr, Point, Region
 from ...indoor.devices import Device
 from ...indoor.distance import IndoorDistanceOracle, PointDistanceField
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
 
 __all__ = [
     "ReachabilityConstraint",
@@ -70,9 +75,14 @@ class ReachabilityConstraint(Region):
     def contains(self, point: Point) -> bool:
         return self.field.distance_to(point) - self.radius <= self.budget + 1e-9
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         distances = self.field.distances_to_many(xs, ys)
-        return distances - self.radius <= self.budget + 1e-9
+        result: "NDArray[np.bool_]" = (
+            distances - self.radius <= self.budget + 1e-9
+        )
+        return result
 
 
 class PathReachabilityConstraint(Region):
@@ -116,7 +126,9 @@ class PathReachabilityConstraint(Region):
         )
         return total <= self.budget + 1e-9
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         if self._mbr is None:
             return np.zeros(len(xs), dtype=bool)
         part_a = np.maximum(
@@ -125,7 +137,8 @@ class PathReachabilityConstraint(Region):
         part_b = np.maximum(
             self.field_b.distances_to_many(xs, ys) - self.radius_b, 0.0
         )
-        return part_a + part_b <= self.budget + 1e-9
+        result: "NDArray[np.bool_]" = part_a + part_b <= self.budget + 1e-9
+        return result
 
 
 class TopologyChecker:

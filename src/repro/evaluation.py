@@ -28,8 +28,8 @@ import numpy as np
 
 from .core.engine import FlowEngine
 from .core.states import interval_contexts, snapshot_contexts
-from .core.uncertainty import interval_uncertainty, snapshot_region
 from .datagen.dataset import Dataset
+from .geometry import near_zero
 
 __all__ = [
     "CalibrationBin",
@@ -119,7 +119,7 @@ def spearman_correlation(
         return result
 
     ra, rb = ranks(a), ranks(b)
-    if ra.std() == 0.0 or rb.std() == 0.0:
+    if near_zero(float(ra.std())) or near_zero(float(rb.std())):
         return 0.0
     return float(np.corrcoef(ra, rb)[0, 1])
 
@@ -191,18 +191,16 @@ def snapshot_presence_calibration(
     pairs: list[tuple[float, bool]] = []
     for t in times:
         for context in snapshot_contexts(engine.artree, t):
-            region = snapshot_region(
-                context,
-                engine.deployment,
-                engine.v_max,
-                engine.topology,
-                engine.inner_allowance,
-            )
+            # Regions and presences go through the engine's evaluation
+            # context, so calibration sees exactly the cached values the
+            # queries use (and reuses them instead of re-deriving).
+            region = engine.ctx.snapshot_region(context)
+            fingerprint = engine.ctx.snapshot_fingerprint(context)
             truth_position = dataset.trajectory_of(context.object_id).position_at(t)
             for poi in dataset.pois:
-                presence = engine.estimator.presence(region, poi)
+                presence = engine.ctx.presence(region, poi, fingerprint)
                 actually_inside = poi.polygon.contains(truth_position)
-                if presence == 0.0 and not actually_inside:
+                if near_zero(presence) and not actually_inside:
                     continue
                 pairs.append((presence, actually_inside))
     return _calibrate(pairs, bins)
@@ -219,20 +217,17 @@ def interval_presence_calibration(
     pairs: list[tuple[float, bool]] = []
     for t_start, t_end in windows:
         for context in interval_contexts(engine.artree, t_start, t_end):
-            uncertainty = interval_uncertainty(
-                context,
-                engine.deployment,
-                engine.v_max,
-                engine.topology,
-                engine.inner_allowance,
-            )
+            uncertainty = engine.ctx.interval_uncertainty(context)
+            fingerprint = engine.ctx.interval_fingerprint(uncertainty)
             trajectory = dataset.trajectory_of(context.object_id)
             for poi in dataset.pois:
-                presence = engine.estimator.presence(uncertainty.region, poi)
+                presence = engine.ctx.presence(
+                    uncertainty.region, poi, fingerprint
+                )
                 visited = trajectory.ever_inside(
                     poi.polygon, t_start, t_end, step=step
                 )
-                if presence == 0.0 and not visited:
+                if near_zero(presence) and not visited:
                     continue
                 pairs.append((presence, visited))
     return _calibrate(pairs, bins)

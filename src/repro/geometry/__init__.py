@@ -7,9 +7,12 @@ boolean region composition and deterministic area quadrature.
 """
 
 from .area import (
+    AREA_EPSILON,
     DEFAULT_RESOLUTION,
+    floats_equal,
     grid_points,
     intersection_fraction,
+    near_zero,
     polygon_grid_points,
     region_area,
 )
@@ -31,6 +34,7 @@ from .ring import Ring
 from .segment import Segment
 
 __all__ = [
+    "AREA_EPSILON",
     "DEFAULT_RESOLUTION",
     "EPSILON",
     "Circle",
@@ -45,9 +49,11 @@ __all__ = [
     "RegionUnion",
     "Ring",
     "Segment",
+    "floats_equal",
     "grid_points",
     "intersect_all",
     "intersection_fraction",
+    "near_zero",
     "polygon_grid_points",
     "region_area",
     "union_all",

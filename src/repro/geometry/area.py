@@ -14,10 +14,12 @@ geometry we measure areas by sampling a *fixed* grid of cell centers:
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..analysis.contracts import check_area, check_presence
 from .mbr import Mbr
 from .polygon import Polygon
 from .region import Region
@@ -26,8 +28,11 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from numpy.typing import NDArray
 
 __all__ = [
+    "AREA_EPSILON",
     "DEFAULT_RESOLUTION",
+    "floats_equal",
     "grid_points",
+    "near_zero",
     "polygon_grid_points",
     "region_area",
     "intersection_fraction",
@@ -37,6 +42,25 @@ __all__ = [
 #: presence error well under 2% for the region shapes produced by the
 #: uncertainty analysis while staying fast (≤ 1024 point tests per POI).
 DEFAULT_RESOLUTION = 32
+
+#: Tolerance for area-like float comparisons.  Areas are in m² and the
+#: library works at building scale (every real POI/cell area is ≫ 1e-6 m²),
+#: so anything below this is quadrature round-off of a degenerate shape.
+AREA_EPSILON = 1e-12
+
+
+def near_zero(value: float, tolerance: float = AREA_EPSILON) -> bool:
+    """Whether an area-like float is zero up to quadrature round-off.
+
+    This is the shared epsilon helper the ``float-equality`` lint rule
+    points to: never compare areas, presences or flows with ``==``.
+    """
+    return abs(value) <= tolerance
+
+
+def floats_equal(a: float, b: float, tolerance: float = AREA_EPSILON) -> bool:
+    """Tolerant equality for area-like floats (relative + absolute)."""
+    return math.isclose(a, b, rel_tol=1e-9, abs_tol=tolerance)
 
 
 def grid_points(
@@ -100,10 +124,10 @@ def region_area(region: Region, resolution: int = DEFAULT_RESOLUTION) -> float:
     if mbr is None:
         return 0.0
     xs, ys, cell_area = grid_points(mbr, resolution)
-    if cell_area == 0.0:
+    if near_zero(cell_area):
         return 0.0
     inside = region.contains_many(xs, ys)
-    return float(inside.sum()) * cell_area
+    return check_area(float(inside.sum()) * cell_area)
 
 
 def intersection_fraction(
@@ -121,4 +145,6 @@ def intersection_fraction(
         return 0.0
     xs, ys, _ = polygon_grid_points(polygon, resolution)
     inside = region.contains_many(xs, ys)
-    return float(inside.sum()) / float(len(xs))
+    return check_presence(
+        float(inside.sum()) / float(len(xs)), where="intersection_fraction"
+    )

@@ -10,12 +10,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from .mbr import Mbr
 from .point import EPSILON, Point
 from .region import Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
 
 __all__ = ["Circle"]
 
@@ -45,7 +49,9 @@ class Circle(Region):
     def contains(self, point: Point) -> bool:
         return self.center.distance_to(point) <= self.radius + EPSILON
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         dx = xs - self.center.x
         dy = ys - self.center.y
         limit = self.radius + EPSILON

@@ -23,6 +23,7 @@ with the two disks excluded (where the object can be while *undetected*).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -30,6 +31,9 @@ from .circle import Circle
 from .mbr import Mbr
 from .point import EPSILON, Point
 from .region import Region, RegionDifference, RegionUnion
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
 
 __all__ = ["ExtendedEllipse"]
 
@@ -95,7 +99,9 @@ class ExtendedEllipse(Region):
         )
         return total <= self.path_budget + EPSILON
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         if self._mbr is None:
             return np.zeros(len(xs), dtype=bool)
         dist_a = np.hypot(xs - self.focus_a.center.x, ys - self.focus_a.center.y)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
@@ -19,6 +19,9 @@ from .mbr import Mbr
 from .point import EPSILON, Point
 from .region import Region
 from .segment import Segment
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
 
 __all__ = ["Polygon"]
 
@@ -198,7 +201,9 @@ class Polygon(Region):
             j = i
         return inside
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         xs = np.asarray(xs, dtype=float)
         ys = np.asarray(ys, dtype=float)
         inside = np.zeros(len(xs), dtype=bool)

@@ -149,7 +149,9 @@ class EmptyRegion(Region):
     def contains(self, point: Point) -> bool:
         return False
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         return np.zeros(len(xs), dtype=bool)
 
     def __repr__(self) -> str:
@@ -187,7 +189,9 @@ class RegionIntersection(Region):
             return False
         return all(part.contains(point) for part in self.parts)
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         if self._mbr is None or len(xs) == 0:
             return np.zeros(len(xs), dtype=bool)
         # Reject whole batches against the intersection MBR with scalar
@@ -245,7 +249,9 @@ class RegionUnion(Region):
     def contains(self, point: Point) -> bool:
         return any(part.contains(point) for part in self.parts)
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         result = np.zeros(len(xs), dtype=bool)
         if len(xs) == 0 or self._mbr is None:
             return result
@@ -298,7 +304,9 @@ class RegionDifference(Region):
     def contains(self, point: Point) -> bool:
         return self.base.contains(point) and not self.subtracted.contains(point)
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         inside = self.base.contains_many(xs, ys)
         if inside.any():
             inside &= ~self.subtracted.contains_many(xs, ys)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -18,6 +19,9 @@ from .circle import Circle
 from .mbr import Mbr
 from .point import EPSILON, Point
 from .region import Region
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
 
 __all__ = ["Ring"]
 
@@ -70,7 +74,9 @@ class Ring(Region):
             <= self.outer_radius + EPSILON
         )
 
-    def contains_many(self, xs, ys):
+    def contains_many(
+        self, xs: "NDArray[np.float64]", ys: "NDArray[np.float64]"
+    ) -> "NDArray[np.bool_]":
         dx = xs - self.center.x
         dy = ys - self.center.y
         squared = dx * dx + dy * dy

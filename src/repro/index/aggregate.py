@@ -13,7 +13,7 @@ lifetime of a query), which keeps the base R-tree untouched.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from typing import Any, Sequence
 
 from ..geometry import Mbr
 from .rtree import RTree, RTreeEntry, RTreeNode
@@ -42,7 +42,12 @@ class AggregateRTree(RTree):
         return tree
 
     @classmethod
-    def bulk_load(cls, items, max_entries=8, min_entries=None) -> "AggregateRTree":
+    def bulk_load(
+        cls,
+        items: Sequence[tuple[Mbr, Any]],
+        max_entries: int = 8,
+        min_entries: int | None = None,
+    ) -> "AggregateRTree":
         tree = super().bulk_load(
             items, max_entries=max_entries, min_entries=min_entries
         )

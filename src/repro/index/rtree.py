@@ -14,7 +14,7 @@ search method.
 from __future__ import annotations
 
 import math
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Iterator, Self, Sequence
 
 from ..geometry import Mbr
 
@@ -112,7 +112,7 @@ class RTree:
         items: Sequence[tuple[Mbr, Any]],
         max_entries: int = 8,
         min_entries: int | None = None,
-    ) -> "RTree":
+    ) -> Self:
         """Build a packed tree with Sort-Tile-Recursive (STR) loading.
 
         Produces well-filled nodes and much better MBR quality than repeated

@@ -28,7 +28,7 @@ from pathlib import Path
 
 import numpy as np
 
-from ..geometry import Mbr, Region, grid_points
+from ..geometry import Mbr, Region, grid_points, near_zero
 from ..indoor.devices import Deployment
 from ..indoor.floorplan import FloorPlan
 from ..indoor.poi import Poi
@@ -155,7 +155,7 @@ class SvgCanvas:
         if mbr is None:
             return self
         clipped = mbr.intersection(self.bounds)
-        if clipped is None or clipped.area() == 0.0:
+        if clipped is None or near_zero(clipped.area()):
             return self
         xs, ys, _ = grid_points(clipped, resolution)
         inside = region.contains_many(xs, ys)

@@ -5,6 +5,8 @@ interval definitions collapse to the snapshot definitions when
 ``t_s = t_e``.
 """
 
+# repro: allow-file(context-bypass): probes the low-level builders at degenerate windows on purpose
+
 import pytest
 
 from repro.core import IntervalContext, SnapshotContext

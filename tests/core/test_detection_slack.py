@@ -1,5 +1,7 @@
 """Semantics of the detection-slack relaxation (DESIGN.md §6, finding 2)."""
 
+# repro: allow-file(context-bypass): exercises the inner-allowance parameter of the raw builders
+
 import pytest
 
 from repro.core import FlowEngine, SnapshotContext, snapshot_region

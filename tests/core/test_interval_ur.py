@@ -1,5 +1,7 @@
 """Tests for interval uncertainty regions (paper, Section 3.2, Cases 1-4)."""
 
+# repro: allow-file(context-bypass): unit-tests interval_uncertainty itself against hand-computed geometry
+
 import pytest
 
 from repro.core import IntervalContext, interval_uncertainty

@@ -6,6 +6,8 @@ walls, so the Euclidean analysis is exact and the topology check changes
 nothing).
 """
 
+# repro: allow-file(context-bypass): unit-tests snapshot_region itself against hand-computed geometry
+
 import math
 
 import pytest

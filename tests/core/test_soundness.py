@@ -8,6 +8,8 @@ with and without the topology check (the check must tighten regions, never
 cut off truth).
 """
 
+# repro: allow-file(context-bypass): verifies the raw builders against ground truth, independent of caching
+
 import pytest
 
 from repro.core import (

@@ -6,6 +6,8 @@ away.  Points just across the wall are close in Euclidean terms but far by
 walking distance — the topology check must exclude them.
 """
 
+# repro: allow-file(context-bypass): compares raw builders with and without a topology checker
+
 import math
 
 import pytest

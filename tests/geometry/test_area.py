@@ -6,13 +6,16 @@ import numpy as np
 import pytest
 
 from repro.geometry import (
+    AREA_EPSILON,
     Circle,
     EmptyRegion,
     Mbr,
     Point,
     Polygon,
+    floats_equal,
     grid_points,
     intersection_fraction,
+    near_zero,
     polygon_grid_points,
     region_area,
 )
@@ -111,3 +114,35 @@ class TestIntersectionFraction:
         region = Circle(Point(2, 2), 2.2)
         values = {intersection_fraction(region, poi) for _ in range(5)}
         assert len(values) == 1
+
+
+class TestEpsilonHelpers:
+    """The shared tolerant comparisons the float-equality rule points to."""
+
+    def test_near_zero_on_round_off(self):
+        assert near_zero(0.0)
+        assert near_zero(AREA_EPSILON / 2)
+        assert near_zero(-AREA_EPSILON / 2)
+        assert not near_zero(1e-6)
+        assert near_zero(0.25, tolerance=0.5)
+
+    def test_floats_equal_tolerates_representation_noise(self):
+        assert floats_equal(0.1 + 0.2, 0.3)
+        assert floats_equal(1e9, 1e9 * (1 + 1e-10))
+        assert not floats_equal(1.0, 1.0001)
+        assert floats_equal(0.0, AREA_EPSILON / 2)
+
+    def test_degenerate_point_region_has_zero_area(self):
+        # A zero-radius circle produces a degenerate (single-cell,
+        # zero-cell-area) grid; the area must come out exactly 0.0 and
+        # near_zero must classify it, never an exact == comparison.
+        point_region = Circle(Point(3.0, 4.0), 0.0)
+        area = region_area(point_region, resolution=16)
+        assert near_zero(area)
+        assert area == 0.0
+
+    def test_zero_width_polygon_region_area(self):
+        line = Polygon(
+            [Point(0, 0), Point(5, 0), Point(5, 1e-15), Point(0, 1e-15)]
+        )
+        assert near_zero(region_area(line, resolution=8))

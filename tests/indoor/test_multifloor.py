@@ -1,5 +1,7 @@
 """Tests for the multi-floor extension."""
 
+# repro: allow-file(context-bypass): derives regions directly to test multi-floor deployments
+
 import pytest
 
 from repro.core import FlowEngine, snapshot_contexts, snapshot_region

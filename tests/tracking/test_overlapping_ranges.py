@@ -6,6 +6,8 @@ temporally consistent OTT and the whole pipeline — including soundness of
 the uncertainty analysis — keeps working.
 """
 
+# repro: allow-file(context-bypass): derives regions directly from overlapping-range records
+
 import pytest
 
 from repro.core import snapshot_contexts, snapshot_region
