@@ -33,6 +33,7 @@ The ten-second tour::
 
 from .core import (
     FlowEngine,
+    LiveFlowEngine,
     IntervalTopKQuery,
     PresenceEstimator,
     RankedPoi,
@@ -40,7 +41,12 @@ from .core import (
     TopKResult,
 )
 from .indoor import Deployment, Device, Door, FloorPlan, Poi, Room
-from .tracking import ObjectTrackingTable, RawReading, TrackingRecord
+from .tracking import (
+    LiveTrackingTable,
+    ObjectTrackingTable,
+    RawReading,
+    TrackingRecord,
+)
 
 __version__ = "1.0.0"
 
@@ -51,6 +57,8 @@ __all__ = [
     "FloorPlan",
     "FlowEngine",
     "IntervalTopKQuery",
+    "LiveFlowEngine",
+    "LiveTrackingTable",
     "ObjectTrackingTable",
     "Poi",
     "PresenceEstimator",

@@ -8,6 +8,14 @@ params-epoch stamping, so cached and fresh answers can silently diverge.
 This rule flags imports and bare calls of the low-level builders outside
 the modules that implement the caching layer itself.
 
+The live-ingestion path (PR 3) adds a second coherence seam: appending a
+record must bump the context's per-object tail epoch
+(:meth:`EvaluationContext.note_append`) *and* patch the AR-tree delta, or
+cached trail episodes keep serving stale extrapolations.
+:meth:`FlowEngine.ingest` is the only call site that does all three
+atomically, so direct ``.append_record(...)`` / ``.patch_tail(...)`` calls
+on an AR-tree outside the index/engine layers are flagged too.
+
 ``__init__.py`` re-exports are exempt (the names stay public for low-level
 use, e.g. ablation studies — which then carry an explicit suppression).
 """
@@ -25,18 +33,30 @@ __all__ = ["ContextBypassRule"]
 #: The low-level builder functions owned by the caching layer.
 _GUARDED = frozenset({"snapshot_region", "interval_uncertainty"})
 
+#: AR-tree mutators owned by the ingest seam (FlowEngine.ingest keeps the
+#: tree, the live table and the context generation in lockstep).
+_GUARDED_MUTATORS = frozenset({"append_record", "patch_tail"})
+
 #: Path fragments of the modules allowed to touch the builders directly:
 #: the context itself and the uncertainty package implementing them.
-_ALLOWED_FRAGMENTS = (
+_BUILDER_ALLOWED = (
     ("core", "uncertainty"),
     ("core", "context.py"),
     ("repro", "analysis"),
 )
 
+#: Path fragments allowed to mutate AR-trees directly: the index module
+#: implementing the mutators and the engine's atomic ingest path.
+_MUTATOR_ALLOWED = (
+    ("index", "artree.py"),
+    ("core", "engine.py"),
+    ("repro", "analysis"),
+)
 
-def _is_allowed(path: Path) -> bool:
+
+def _matches(path: Path, fragments: tuple[tuple[str, ...], ...]) -> bool:
     parts = path.parts
-    for fragment in _ALLOWED_FRAGMENTS:
+    for fragment in fragments:
         for i in range(len(parts) - len(fragment) + 1):
             if parts[i : i + len(fragment)] == fragment:
                 return True
@@ -47,21 +67,32 @@ class ContextBypassRule(Rule):
     name = "context-bypass"
     description = (
         "no direct snapshot_region()/interval_uncertainty() outside the "
-        "EvaluationContext caching layer"
+        "EvaluationContext caching layer, and no direct AR-tree "
+        "append_record()/patch_tail() outside the engine ingest path"
     )
     paper_ref = (
         "PR 1 cache coherence: memoized UR(o, t) / UR(o, [ts, te]) must be "
-        "the only derivation path (Sections 3.1-3.2)"
+        "the only derivation path (Sections 3.1-3.2); PR 3 extends the "
+        "invariant to live appends (Section 4.1 index maintenance)"
     )
 
     def applies_to(self, path: Path) -> bool:
-        return not _is_allowed(path)
+        # Both seams exempt the analysis package itself; everything else is
+        # filtered per-category inside check().
+        return not _matches(path, (("repro", "analysis"),))
 
     def check(self, tree: ast.Module, path: str) -> list[Diagnostic]:
         diagnostics: list[Diagnostic] = []
-        is_reexport_module = Path(path).name == "__init__.py"
+        source = Path(path)
+        check_builders = not _matches(source, _BUILDER_ALLOWED)
+        check_mutators = not _matches(source, _MUTATOR_ALLOWED)
+        is_reexport_module = source.name == "__init__.py"
         for node in ast.walk(tree):
-            if isinstance(node, ast.ImportFrom) and not is_reexport_module:
+            if (
+                check_builders
+                and isinstance(node, ast.ImportFrom)
+                and not is_reexport_module
+            ):
                 for alias in node.names:
                     if alias.name in _GUARDED:
                         diagnostics.append(
@@ -73,7 +104,7 @@ class ContextBypassRule(Rule):
                                 "so the memo layer stays coherent",
                             )
                         )
-            elif isinstance(node, ast.Import):
+            elif check_builders and isinstance(node, ast.Import):
                 for alias in node.names:
                     if "core.uncertainty" in alias.name:
                         diagnostics.append(
@@ -87,13 +118,31 @@ class ContextBypassRule(Rule):
                         )
             elif isinstance(node, ast.Call):
                 func = node.func
-                if isinstance(func, ast.Name) and func.id in _GUARDED:
+                if (
+                    check_builders
+                    and isinstance(func, ast.Name)
+                    and func.id in _GUARDED
+                ):
                     diagnostics.append(
                         self.diagnostic(
                             path,
                             node,
                             f"direct {func.id}() call bypasses the "
                             "EvaluationContext region cache",
+                        )
+                    )
+                elif (
+                    check_mutators
+                    and isinstance(func, ast.Attribute)
+                    and func.attr in _GUARDED_MUTATORS
+                ):
+                    diagnostics.append(
+                        self.diagnostic(
+                            path,
+                            node,
+                            f"direct .{func.attr}() mutates the AR-tree "
+                            "without bumping the context generation; ingest "
+                            "records through FlowEngine.ingest() instead",
                         )
                     )
         return diagnostics

@@ -11,7 +11,7 @@ from .algorithms import (
 )
 from .caching import LruCache
 from .context import EvaluationContext, EvaluationStats
-from .engine import FlowEngine
+from .engine import FlowEngine, LiveFlowEngine
 from .monitor import (
     SlidingIntervalTopKMonitor,
     SnapshotTopKMonitor,
@@ -56,6 +56,7 @@ __all__ = [
     "IntervalTopKQuery",
     "IntervalUncertainty",
     "JoinObject",
+    "LiveFlowEngine",
     "LruCache",
     "PathReachabilityConstraint",
     "PresenceEstimator",

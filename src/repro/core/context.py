@@ -32,8 +32,12 @@ plus the context's construction parameters, which are immutable — changing
 a query parameter (a new ``v_max``, another estimator resolution) means
 building a fresh context (see :meth:`EvaluationContext.replace`), whose
 caches start cold, so stale regions can never be served.  A context is tied
-to one tracking table: reuse it only across queries over the same (frozen)
-OTT, as :class:`~repro.core.engine.FlowEngine` does.
+to one tracking table: reuse it only across queries over the same OTT, as
+:class:`~repro.core.engine.FlowEngine` does.  When that table is *live*
+(append-capable), every append must be reported via
+:meth:`EvaluationContext.note_append`, which rolls the appended object's
+tail epoch so its open-ended tail regions fall out of the key space —
+append invalidation is surgical, never a cache flush.
 """
 
 from __future__ import annotations
@@ -186,6 +190,11 @@ class EvaluationContext:
         self.stats = EvaluationStats()
         self._region_cache: LruCache[object] = LruCache(region_cache_size)
         self._presence_cache: LruCache[float] = LruCache(presence_cache_size)
+        # Generation counters for live ingestion (see note_append): a total
+        # data generation plus a per-object tail epoch stamped into the
+        # cache keys of the object's open-ended tail episodes.
+        self.data_generation = 0
+        self._tail_epochs: dict[Hashable, int] = {}
         self._counted_topology = (
             _CountingTopology(topology, self.stats) if topology is not None else None
         )
@@ -234,11 +243,43 @@ class EvaluationContext:
         self.stats.reset()
 
     def stats_dict(self) -> dict[str, int]:
-        """Counters plus current cache occupancy."""
+        """Counters plus current cache occupancy and data generation."""
         stats = self.stats.as_dict()
         stats["region_cache_entries"] = len(self._region_cache)
         stats["presence_cache_entries"] = len(self._presence_cache)
+        stats["data_generation"] = self.data_generation
         return stats
+
+    # ------------------------------------------------------------------
+    # Live ingestion (generation-aware cache keys)
+    # ------------------------------------------------------------------
+
+    def tail_epoch(self, object_id: Hashable) -> int:
+        """The object's append epoch (0 until data is appended for it)."""
+        return self._tail_epochs.get(object_id, 0)
+
+    def note_append(self, object_id: Hashable) -> None:
+        """Record that tracking data was appended for ``object_id``.
+
+        Bumps the global :attr:`data_generation` and the object's tail
+        epoch.  The epoch is stamped into the cache keys of the object's
+        *trail* episodes — the only cached regions that extrapolate past
+        its last record — so an append retires exactly those entries (they
+        simply stop being addressable) while every other cached region
+        stays valid and reusable:
+
+        * snapshot and gap keys already encode the involved record
+          boundary times, so new records produce new keys by construction;
+        * detection-episode regions are the devices' constant ranges,
+          independent of the appended data;
+        * the former "last gap" of the object is re-derived under a gap
+          key (both boundaries now known) rather than the trail key.
+
+        Cached == uncached stays bit-identical: keys only decide reuse,
+        never values.
+        """
+        self.data_generation += 1
+        self._tail_epochs[object_id] = self._tail_epochs.get(object_id, 0) + 1
 
     # ------------------------------------------------------------------
     # Region memo layer
@@ -302,6 +343,7 @@ class EvaluationContext:
             self._counted_topology,
             self.inner_allowance,
             memo=self.memo_region,
+            tail_token=self.tail_epoch(context.object_id),
         )
 
     # ------------------------------------------------------------------

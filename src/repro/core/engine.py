@@ -18,20 +18,30 @@ Typical use::
     for row in top:
         print(row.poi.name, row.flow)
     print(engine.stats())  # cache hits, regions computed, ...
+
+A **live** engine (``live=True``, a :class:`LiveTrackingTable`, or the
+:class:`LiveFlowEngine` convenience subclass) additionally accepts new
+tracking records while serving queries: :meth:`FlowEngine.ingest` appends
+through the live table's at-append validation, maintains the AR-tree
+incrementally (delta buffer + automatic compaction) and rolls the
+appended objects' cache epochs — no index rebuild, no cache flush.
+Results after an ingest are identical to a freshly built engine over the
+union of records.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Iterable, Sequence
 
 from ..geometry import DEFAULT_RESOLUTION, Region
 from ..index import ARTree, RTree
+from ..index.artree import DEFAULT_DELTA_THRESHOLD
 from ..indoor.devices import Deployment
 from ..indoor.distance import IndoorDistanceOracle
 from ..indoor.floorplan import FloorPlan
 from ..indoor.poi import Poi, build_poi_index
-from ..tracking.records import ObjectId
-from ..tracking.table import ObjectTrackingTable
+from ..tracking.records import ObjectId, TrackingRecord
+from ..tracking.table import LiveTrackingTable, ObjectTrackingTable
 from .algorithms.iterative import (
     interval_flows,
     iterative_interval,
@@ -46,12 +56,16 @@ from .context import (
 )
 from .presence import PresenceEstimator
 from .queries import TopKResult, rank_top_k_by_density
+from .caching import LruCache
 from .states import interval_context_from_entries, snapshot_context
 from .uncertainty import IntervalUncertainty, TopologyChecker
 
-__all__ = ["FlowEngine"]
+__all__ = ["FlowEngine", "LiveFlowEngine"]
 
 _METHODS = ("join", "iterative")
+
+#: How many per-subset POI R-trees the engine memoizes (LRU).
+DEFAULT_POI_SUBSET_CACHE_SIZE = 16
 
 
 class FlowEngine:
@@ -83,13 +97,20 @@ class FlowEngine:
         LRU capacities of the evaluation context's memo layers; ``0``
         disables a layer (useful to compare cached against uncached
         evaluation — results are identical either way).
+    live:
+        Keep the tracking table append-capable: :meth:`ingest` (and the
+        open-episode methods) accept new records after construction.
+        Implied when ``ott`` is a :class:`LiveTrackingTable`; a plain
+        table is re-validated into one record by record.
+    artree_delta_threshold:
+        Delta-buffer size at which the live AR-tree auto-compacts.
     """
 
     def __init__(
         self,
         floorplan: FloorPlan,
         deployment: Deployment,
-        ott: ObjectTrackingTable,
+        ott: ObjectTrackingTable | LiveTrackingTable,
         pois: Sequence[Poi],
         v_max: float,
         resolution: int = DEFAULT_RESOLUTION,
@@ -99,6 +120,8 @@ class FlowEngine:
         detection_slack: float = 0.0,
         region_cache_size: int = DEFAULT_REGION_CACHE_SIZE,
         presence_cache_size: int = DEFAULT_PRESENCE_CACHE_SIZE,
+        live: bool = False,
+        artree_delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
     ):
         if v_max <= 0:
             raise ValueError("v_max must be positive")
@@ -107,11 +130,32 @@ class FlowEngine:
         if not pois:
             raise ValueError("the engine needs at least one POI")
         self.floorplan = floorplan
-        self.ott = ott.freeze()
+        self._live: LiveTrackingTable | None
+        if isinstance(ott, LiveTrackingTable):
+            self._live = ott
+        elif live:
+            # A batch table allows any arrival order; replaying it sorted
+            # satisfies the live table's in-order at-append validation.
+            self._live = LiveTrackingTable(
+                sorted(ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+            )
+        else:
+            self._live = None
+        self.ott: ObjectTrackingTable | LiveTrackingTable = (
+            self._live if self._live is not None else ott.freeze()
+        )
         self.pois = list(pois)
-        self.artree = ARTree.build(self.ott, fanout=artree_fanout)
+        self.artree = ARTree.build(
+            self.ott,
+            fanout=artree_fanout,
+            delta_threshold=artree_delta_threshold,
+        )
         self.poi_tree = build_poi_index(self.pois, max_entries=rtree_fanout)
         self.detection_slack = detection_slack
+        self._subset_trees: LruCache[tuple[list[Poi], RTree]] = LruCache(
+            DEFAULT_POI_SUBSET_CACHE_SIZE
+        )
+        self.poi_subset_trees_built = 0
         self.ctx = EvaluationContext(
             deployment=deployment,
             v_max=v_max,
@@ -157,6 +201,83 @@ class FlowEngine:
         return self.ctx.rtree_fanout
 
     # ------------------------------------------------------------------
+    # Live ingestion
+    # ------------------------------------------------------------------
+
+    @property
+    def is_live(self) -> bool:
+        """Whether the engine accepts new tracking records (see ``live``)."""
+        return self._live is not None
+
+    @property
+    def generation(self) -> int:
+        """The live table's mutation counter (0 for a frozen-batch engine)."""
+        return self._live.generation if self._live is not None else 0
+
+    def _require_live(self) -> LiveTrackingTable:
+        if self._live is None:
+            raise RuntimeError(
+                "this engine is frozen-batch; construct it with live=True "
+                "(or LiveFlowEngine) to ingest records"
+            )
+        return self._live
+
+    def ingest(self, records: Iterable[TrackingRecord]) -> int:
+        """Append closed tracking records to a live engine; returns the count.
+
+        Each record is validated by the live table (per-object ordering and
+        non-overlap, at append time), indexed incrementally in the AR-tree
+        and reported to the evaluation context, which rolls the object's
+        tail-episode cache epoch.  Subsequent queries — including a monitor
+        :meth:`~repro.core.monitor.SnapshotTopKMonitor.advance` at an
+        unchanged instant — see the new data immediately and return exactly
+        what a freshly built engine over the union of records would.
+
+        Records are applied one by one: if one fails validation, the
+        records before it remain ingested and the error propagates.
+        """
+        live = self._require_live()
+        count = 0
+        for record in records:
+            predecessor = live.last_record(record.object_id)
+            live.append(record)
+            self.artree.append_record(record, predecessor)
+            self.ctx.note_append(record.object_id)
+            count += 1
+        return count
+
+    def ingest_open(self, record: TrackingRecord) -> None:
+        """Start an open detection episode (``t_e`` still advancing).
+
+        The record enters table and index like a normal append but stays
+        patchable: :meth:`extend_episode` advances its end time and
+        :meth:`close_episode` fixes it.
+        """
+        live = self._require_live()
+        predecessor = live.last_record(record.object_id)
+        live.append(record, open=True)
+        self.artree.append_record(record, predecessor, open=True)
+        self.ctx.note_append(record.object_id)
+
+    def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
+        """Advance an open episode's end time; returns the updated record."""
+        live = self._require_live()
+        updated = live.extend_episode(object_id, t_e)
+        self.artree.patch_tail(updated, open=True)
+        self.ctx.note_append(object_id)
+        return updated
+
+    def close_episode(
+        self, object_id: ObjectId, t_e: float | None = None
+    ) -> TrackingRecord:
+        """Close an open episode (at ``t_e``, or its current extent)."""
+        live = self._require_live()
+        closed = live.close_episode(object_id, t_e)
+        self.artree.patch_tail(closed, open=False)
+        self.ctx.note_append(object_id)
+        return closed
+
+    # ------------------------------------------------------------------
     # Instrumentation
     # ------------------------------------------------------------------
 
@@ -166,10 +287,15 @@ class FlowEngine:
         Keys: ``regions_computed``, ``region_cache_hits``,
         ``presence_evaluations``, ``presence_cache_hits``,
         ``topology_prunes``, ``region_cache_entries``,
-        ``presence_cache_entries``, ``estimator_cached_pois``.
+        ``presence_cache_entries``, ``data_generation``,
+        ``estimator_cached_pois``, ``poi_subset_trees_built``,
+        ``artree_delta_entries``, ``artree_compactions``.
         """
         stats = self.ctx.stats_dict()
         stats["estimator_cached_pois"] = self.ctx.estimator.sample_cache_size
+        stats["poi_subset_trees_built"] = self.poi_subset_trees_built
+        stats["artree_delta_entries"] = self.artree.delta_size
+        stats["artree_compactions"] = self.artree.compactions
         return stats
 
     def reset_stats(self) -> None:
@@ -183,13 +309,28 @@ class FlowEngine:
     def _query_pois(
         self, pois: Sequence[Poi] | None
     ) -> tuple[list[Poi], RTree]:
-        """Resolve the query POI set P and its R-tree R_P."""
+        """Resolve the query POI set P and its R-tree R_P.
+
+        Subset R-trees are memoized per subset identity (the tuple of
+        member POI objects), so a monitor or dashboard re-querying the
+        same subset builds its R_P exactly once.  ``poi_subset_trees_built``
+        in :meth:`stats` counts the actual builds.
+        """
         if pois is None:
             return self.pois, self.poi_tree
         subset = list(pois)
         if not subset:
             raise ValueError("the query POI set may not be empty")
-        return subset, build_poi_index(subset, max_entries=self.ctx.rtree_fanout)
+        key = tuple(id(poi) for poi in subset)
+        cached = self._subset_trees.get(key)
+        if cached is not None:
+            return cached
+        tree = build_poi_index(subset, max_entries=self.ctx.rtree_fanout)
+        self.poi_subset_trees_built += 1
+        # The cached subset list keeps the POIs alive, so the id()-based
+        # key cannot be aliased by reallocation while the entry lives.
+        self._subset_trees.put(key, (subset, tree))
+        return subset, tree
 
     # ------------------------------------------------------------------
     # Top-k queries (Problems 1 and 2)
@@ -323,3 +464,33 @@ class FlowEngine:
             object_id, entries, t_start, t_end
         )
         return self.ctx.interval_uncertainty(context)
+
+
+class LiveFlowEngine(FlowEngine):
+    """A :class:`FlowEngine` that is append-capable from construction.
+
+    The streaming entry point: start from an empty (or pre-loaded)
+    :class:`~repro.tracking.table.LiveTrackingTable` and feed arriving
+    records through :meth:`FlowEngine.ingest` while queries and monitors
+    run against the always-current state::
+
+        engine = LiveFlowEngine(plan, deployment, pois, v_max=1.1)
+        engine.ingest(first_batch)
+        monitor = SnapshotTopKMonitor(engine, k=10)
+        update = monitor.tick(t=now, records=next_batch)
+    """
+
+    def __init__(
+        self,
+        floorplan: FloorPlan,
+        deployment: Deployment,
+        pois: Sequence[Poi],
+        v_max: float,
+        ott: ObjectTrackingTable | LiveTrackingTable | None = None,
+        **engine_kwargs: Any,
+    ):
+        if ott is None:
+            ott = LiveTrackingTable()
+        super().__init__(
+            floorplan, deployment, ott, pois, v_max, live=True, **engine_kwargs
+        )

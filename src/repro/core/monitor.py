@@ -23,16 +23,17 @@ downstream alerting consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from ..indoor.poi import Poi
+from ..tracking.records import TrackingRecord
 from .engine import FlowEngine
 from .queries import TopKResult
 
 __all__ = ["TopKUpdate", "SnapshotTopKMonitor", "SlidingIntervalTopKMonitor"]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopKUpdate:
     """One monitoring tick: the fresh result plus what changed."""
 
@@ -106,6 +107,27 @@ class _BaseMonitor:
             exited=exited,
             rank_changes=rank_changes,
         )
+
+    def ingest(self, records: Iterable[TrackingRecord]) -> int:
+        """Feed newly arrived records to the (live) engine; returns the count.
+
+        The next :meth:`advance` — even at an unchanged ``t`` — reports the
+        flow changes the new records cause.
+        """
+        return self.engine.ingest(records)
+
+    def tick(
+        self, t: float, records: Iterable[TrackingRecord] = ()
+    ) -> TopKUpdate:
+        """One dashboard tick: ingest what arrived, then advance to ``t``.
+
+        With no arrivals this is a plain :meth:`advance`, so the method
+        also works on a frozen-batch engine.
+        """
+        arrived = list(records)
+        if arrived:
+            self.engine.ingest(arrived)
+        return self.advance(t)
 
     def run(self, times: Sequence[float]) -> list[TopKUpdate]:
         """Advance through ``times`` and collect all updates."""

@@ -63,7 +63,7 @@ class RankedPoi:
     flow: float
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TopKResult:
     """The ranked top-k POIs, highest flow first."""
 

@@ -115,6 +115,7 @@ def interval_uncertainty(
     topology: TopologyChecker | None = None,
     inner_allowance: float = 0.0,
     memo: RegionMemo | None = None,
+    tail_token: Hashable = None,
 ) -> IntervalUncertainty:
     """Derive the interval uncertainty region from a record chain.
 
@@ -127,6 +128,13 @@ def interval_uncertainty(
     the query window itself — so when a sliding window advances, interior
     episodes (detection disks, fully covered gap ellipses) hit the memo and
     only episodes cut by a window boundary are rebuilt.
+
+    ``tail_token`` is stamped into the *trail* episode's key — the only
+    episode kind whose geometry extrapolates beyond the object's last
+    record.  Live ingestion passes the object's per-append tail epoch here
+    (see :meth:`repro.core.context.EvaluationContext.note_append`), so an
+    append retires exactly the appended object's open-ended tail regions
+    from the memo while every interior episode stays reusable.
     """
     if v_max <= 0:
         raise ValueError("v_max must be positive")
@@ -186,6 +194,7 @@ def interval_uncertainty(
                 inner_allowance,
                 object_id,
                 memo,
+                tail_token,
             )
         )
     return IntervalUncertainty(context.object_id, t_start, t_end, episodes)
@@ -286,9 +295,10 @@ def _boundary_ring_episode(
     inner_allowance: float = 0.0,
     object_id: ObjectId | None = None,
     memo: RegionMemo | None = None,
+    tail_token: Hashable = None,
 ) -> Episode:
     budget = max(0.0, budget)
-    key = (kind, object_id, device.device_id, quantize_time(budget))
+    key = (kind, object_id, device.device_id, quantize_time(budget), tail_token)
 
     def build() -> Region:
         parts: list[Region] = [slack_ring(device.range, budget, inner_allowance)]

@@ -17,23 +17,57 @@ child node.
   whose augmented intervals overlap the window, yielding the start, end and
   in-between records of Table 3.
 
-The tree is bulk-loaded bottom-up from the frozen OTT (sorted by interval
-start), which packs nodes tightly; the OTT is static during analysis, so no
-dynamic maintenance is needed.
+The bulk of the index is loaded bottom-up from a consistent OTT (sorted by
+interval start), which packs nodes tightly.  On top of the static tree the
+index keeps a small **sorted delta buffer** of recently appended leaf
+entries, LSM-style: :meth:`ARTree.append_record` inserts into the delta in
+O(log delta), every query consults the static tree *and* the delta, and
+once the delta outgrows ``delta_threshold`` it is automatically compacted —
+merged with the static entries and bulk-reloaded.  Entries of still-open
+detection episodes (live ingestion; see
+:class:`~repro.tracking.table.LiveTrackingTable`) are pinned in the delta,
+where :meth:`ARTree.patch_tail` can cheaply replace them as the episode's
+``t_e`` advances and finally closes.
+
+Query results are returned in a deterministic total order
+``(t1, t2, record_id)`` so that an incrementally maintained tree and a
+from-scratch bulk load answer queries *identically* — including the
+floating-point accumulation order of downstream flow sums.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_right, insort
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Protocol
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
     # through repro.tracking, whose detection model uses the indoor package,
     # which indexes rooms with this package's R-tree)
     from ..tracking.records import ObjectId, TrackingRecord
-    from ..tracking.table import ObjectTrackingTable
 
 __all__ = ["ARTree", "ARLeafEntry"]
+
+#: Delta-buffer size at which :meth:`ARTree.append_record` triggers an
+#: automatic compaction (open-episode entries do not count — they are
+#: pinned in the delta until they close).
+DEFAULT_DELTA_THRESHOLD = 256
+
+
+class TrackingSource(Protocol):
+    """What :meth:`ARTree.build` reads: a consistent, queryable OTT.
+
+    Both :class:`~repro.tracking.table.ObjectTrackingTable` (frozen) and
+    :class:`~repro.tracking.table.LiveTrackingTable` satisfy this.
+    """
+
+    @property
+    def object_ids(self) -> list["ObjectId"]: ...
+
+    @property
+    def open_object_ids(self) -> frozenset["ObjectId"]: ...
+
+    def records_for(self, object_id: "ObjectId") -> list["TrackingRecord"]: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -69,6 +103,16 @@ class ARLeafEntry:
         return self.t1 <= t_end and self.t2 >= t_start
 
 
+def _entry_key(entry: ARLeafEntry) -> tuple[float, float, int]:
+    """The total order all query results are returned in.
+
+    ``record_id`` is table-unique, so the key is a tie-free total order —
+    which makes incremental (static + delta) and bulk-loaded trees return
+    bit-identical result *sequences*, not just equal sets.
+    """
+    return (entry.t1, entry.t2, entry.record.record_id)
+
+
 class _ARNode:
     """Internal AR-tree node: children plus their bounding interval."""
 
@@ -92,36 +136,68 @@ class _ARNode:
 
 
 class ARTree:
-    """Bulk-loaded augmented temporal index over an OTT."""
+    """Augmented temporal index: a bulk-loaded core plus an append delta."""
 
-    def __init__(self, fanout: int = 16):
+    def __init__(
+        self,
+        fanout: int = 16,
+        delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
+    ):
         if fanout < 2:
             raise ValueError("fanout must be at least 2")
+        if delta_threshold < 1:
+            raise ValueError("delta_threshold must be positive")
         self.fanout = fanout
+        self.delta_threshold = delta_threshold
         self._root: _ARNode | None = None
         self._size = 0
         self._by_object: dict[ObjectId, tuple[ARLeafEntry, ...]] = {}
+        #: LSM-style buffer of recent entries, sorted by ``_entry_key``.
+        self._delta: list[ARLeafEntry] = []
+        self._delta_by_object: dict[ObjectId, list[ARLeafEntry]] = {}
+        #: Objects whose tail entry is an open episode (pinned in the delta).
+        self._open_objects: set[ObjectId] = set()
+        #: How often the delta was merged into the static tree.
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
 
     @classmethod
-    def build(cls, ott: ObjectTrackingTable, fanout: int = 16) -> "ARTree":
-        """Index a frozen OTT."""
-        tree = cls(fanout=fanout)
-        entries: list[ARLeafEntry] = []
+    def build(
+        cls,
+        ott: TrackingSource,
+        fanout: int = 16,
+        delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
+    ) -> "ARTree":
+        """Index a consistent OTT (frozen batch table or live table).
+
+        A live table's open episodes land in the delta buffer (so they can
+        still be patched); everything closed is bulk-loaded statically.
+        """
+        tree = cls(fanout=fanout, delta_threshold=delta_threshold)
+        open_ids = ott.open_object_ids
+        static_entries: list[ARLeafEntry] = []
+        open_entries: list[ARLeafEntry] = []
         for object_id in ott.object_ids:
+            records = ott.records_for(object_id)
             previous: TrackingRecord | None = None
-            for record in ott.records_for(object_id):
+            for index, record in enumerate(records):
                 t1 = previous.t_e if previous is not None else record.t_s
-                entries.append(
-                    ARLeafEntry(
-                        t1=t1, t2=record.t_e, predecessor=previous, record=record
-                    )
+                entry = ARLeafEntry(
+                    t1=t1, t2=record.t_e, predecessor=previous, record=record
                 )
+                is_open_tail = (
+                    object_id in open_ids and index == len(records) - 1
+                )
+                (open_entries if is_open_tail else static_entries).append(entry)
                 previous = record
-        tree._bulk_load(entries)
+        tree._bulk_load(static_entries)
+        for entry in open_entries:
+            tree._delta_insert(entry)
+            tree._open_objects.add(entry.object_id)
+        tree._size = len(static_entries) + len(open_entries)
         return tree
 
     def _bulk_load(self, entries: list[ARLeafEntry]) -> None:
@@ -130,13 +206,13 @@ class ARTree:
         for entry in entries:
             by_object.setdefault(entry.object_id, []).append(entry)
         self._by_object = {
-            object_id: tuple(sorted(group, key=lambda e: (e.t1, e.t2)))
+            object_id: tuple(sorted(group, key=_entry_key))
             for object_id, group in by_object.items()
         }
         if not entries:
             self._root = None
             return
-        entries = sorted(entries, key=lambda entry: (entry.t1, entry.t2))
+        entries = sorted(entries, key=_entry_key)
         level: list[_ARNode] = []
         for i in range(0, len(entries), self.fanout):
             chunk = entries[i : i + self.fanout]
@@ -167,6 +243,152 @@ class ARTree:
         return self._size
 
     # ------------------------------------------------------------------
+    # Incremental maintenance (LSM-style delta)
+    # ------------------------------------------------------------------
+
+    @property
+    def delta_size(self) -> int:
+        """Leaf entries currently living in the delta buffer."""
+        return len(self._delta)
+
+    def _delta_insert(self, entry: ARLeafEntry) -> None:
+        insort(self._delta, entry, key=_entry_key)
+        self._delta_by_object.setdefault(entry.object_id, []).append(entry)
+
+    def _delta_remove(self, entry: ARLeafEntry) -> None:
+        index = bisect_right(self._delta, _entry_key(entry), key=_entry_key) - 1
+        while index >= 0 and self._delta[index] is not entry:
+            index -= 1
+        if index < 0:  # pragma: no cover - internal invariant
+            raise ValueError("entry not present in the delta buffer")
+        del self._delta[index]
+        group = self._delta_by_object[entry.object_id]
+        group.remove(entry)
+        if not group:
+            del self._delta_by_object[entry.object_id]
+
+    def _tail_entry(self, object_id: ObjectId) -> ARLeafEntry | None:
+        group = self._delta_by_object.get(object_id)
+        if group:
+            return group[-1]
+        static = self._by_object.get(object_id)
+        return static[-1] if static else None
+
+    def append_record(
+        self,
+        record: TrackingRecord,
+        predecessor: TrackingRecord | None,
+        *,
+        open: bool = False,
+    ) -> ARLeafEntry:
+        """Append one object's next tracking record to the index.
+
+        ``predecessor`` must be the object's current last record (``None``
+        for its first) — exactly the ``Ptr_p`` the new leaf entry carries;
+        its augmented interval is ``(predecessor.t_e, record.t_e]``.  The
+        previously open-ended tail of the object's timeline thereby closes.
+        ``open=True`` marks the new entry as a still-advancing episode,
+        pinned in the delta for :meth:`patch_tail`.
+
+        Automatically compacts once the closed part of the delta exceeds
+        ``delta_threshold``.  Returns the new entry.
+        """
+        object_id = record.object_id
+        if object_id in self._open_objects:
+            raise ValueError(
+                f"object {object_id!r} has an open episode in the index; "
+                "patch_tail() must close it before the next append"
+            )
+        tail = self._tail_entry(object_id)
+        tail_record_id = None if tail is None else tail.record.record_id
+        predecessor_id = None if predecessor is None else predecessor.record_id
+        if tail_record_id != predecessor_id:
+            raise ValueError(
+                f"object {object_id!r}: predecessor {predecessor_id!r} does "
+                f"not match the indexed tail record {tail_record_id!r}"
+            )
+        if predecessor is not None and record.t_s < predecessor.t_e:
+            raise ValueError(
+                f"object {object_id!r}: record {record.record_id} "
+                f"(t_s={record.t_s}) overlaps its predecessor "
+                f"(t_e={predecessor.t_e})"
+            )
+        t1 = predecessor.t_e if predecessor is not None else record.t_s
+        entry = ARLeafEntry(
+            t1=t1, t2=record.t_e, predecessor=predecessor, record=record
+        )
+        self._delta_insert(entry)
+        self._size += 1
+        if open:
+            self._open_objects.add(object_id)
+        if len(self._delta) - len(self._open_objects) > self.delta_threshold:
+            self.compact()
+        return entry
+
+    def patch_tail(
+        self, record: TrackingRecord, *, open: bool
+    ) -> ARLeafEntry:
+        """Replace an open episode's leaf entry as its ``t_e`` advances.
+
+        ``record`` is the episode's updated tracking record (same
+        ``record_id``, greater-or-equal ``t_e``); ``open=False`` closes the
+        episode, unpinning the entry from the delta.  Returns the patched
+        entry.
+        """
+        object_id = record.object_id
+        if object_id not in self._open_objects:
+            raise ValueError(f"object {object_id!r} has no open episode to patch")
+        group = self._delta_by_object.get(object_id)
+        assert group, "open episodes are pinned in the delta"
+        old = group[-1]
+        if old.record.record_id != record.record_id:
+            raise ValueError(
+                f"object {object_id!r}: record {record.record_id} is not the "
+                f"open tail (record {old.record.record_id})"
+            )
+        if record.t_e < old.t2:
+            raise ValueError(
+                f"object {object_id!r}: episode end moved backwards "
+                f"({record.t_e} < {old.t2})"
+            )
+        entry = ARLeafEntry(
+            t1=old.t1, t2=record.t_e, predecessor=old.predecessor, record=record
+        )
+        self._delta_remove(old)
+        self._delta_insert(entry)
+        if not open:
+            self._open_objects.discard(object_id)
+            if len(self._delta) - len(self._open_objects) > self.delta_threshold:
+                self.compact()
+        return entry
+
+    def compact(self) -> None:
+        """Merge the closed delta entries into the static tree (rebuild).
+
+        Open-episode entries stay in the delta — they are still mutable,
+        and the static tree is immutable by construction.
+        """
+        open_tails = {
+            object_id: self._delta_by_object[object_id][-1]
+            for object_id in self._open_objects
+            if object_id in self._delta_by_object
+        }
+        pinned = {id(entry) for entry in open_tails.values()}
+        merged = [
+            entry for group in self._by_object.values() for entry in group
+        ]
+        merged.extend(
+            entry for entry in self._delta if id(entry) not in pinned
+        )
+        self._delta = []
+        self._delta_by_object = {}
+        self._bulk_load(merged)
+        for entry in open_tails.values():
+            self._delta_insert(entry)
+        self._size = len(merged) + len(self._delta)
+        self.compactions += 1
+
+    # ------------------------------------------------------------------
     # Per-object access
     # ------------------------------------------------------------------
 
@@ -175,9 +397,15 @@ class ARTree:
 
         Single-object introspection (``FlowEngine.snapshot_region_of`` and
         friends) resolves states from this direct lookup in O(records of
-        the object) instead of scanning every object's entries.
+        the object) instead of scanning every object's entries.  Static and
+        delta entries are concatenated — appends only ever extend the tail,
+        so the concatenation is already time-ordered.
         """
-        return self._by_object.get(object_id, ())
+        static = self._by_object.get(object_id, ())
+        delta = self._delta_by_object.get(object_id)
+        if not delta:
+            return tuple(static)
+        return tuple(static) + tuple(delta)
 
     # ------------------------------------------------------------------
     # Queries
@@ -186,25 +414,35 @@ class ARTree:
     def point_query(self, t: float) -> list[ARLeafEntry]:
         """All leaf entries whose augmented interval covers ``t``.
 
-        There is at most one such entry per object.
+        There is at most one such entry per object.  Results are in
+        ``(t1, t2, record_id)`` order.
         """
-        return [entry for entry in self._candidates(t, t) if entry.covers(t)]
+        results = [entry for entry in self._candidates(t, t) if entry.covers(t)]
+        results.sort(key=_entry_key)
+        return results
 
     def range_query(self, t_start: float, t_end: float) -> list[ARLeafEntry]:
         """All leaf entries overlapping the closed window ``[t_start, t_end]``.
 
-        Entries are returned in ``(t1, t2)`` order; callers group them by
-        object to reconstruct record chains.
+        Entries are returned in ``(t1, t2, record_id)`` order; callers
+        group them by object to reconstruct record chains.
         """
         if t_end < t_start:
             raise ValueError("t_end precedes t_start")
-        return [
+        results = [
             entry
             for entry in self._candidates(t_start, t_end)
             if entry.overlaps(t_start, t_end)
         ]
+        results.sort(key=_entry_key)
+        return results
 
     def _candidates(self, t_start: float, t_end: float) -> Iterator[ARLeafEntry]:
+        for entry in self._delta:
+            if entry.t1 > t_end:
+                break  # the delta is sorted by t1 first
+            if entry.t2 >= t_start:
+                yield entry
         if self._root is None:
             return
         stack = [self._root]

@@ -20,12 +20,13 @@ from .simulator import (
     simulate_random_waypoint,
     simulate_trajectories,
 )
-from .table import ObjectTrackingTable
+from .table import LiveTrackingTable, ObjectTrackingTable
 from .trajectory import Leg, Trajectory
 
 __all__ = [
     "DeviceId",
     "Leg",
+    "LiveTrackingTable",
     "ObjectId",
     "ObjectTrackingTable",
     "RawReading",

@@ -1,8 +1,21 @@
-"""The Object Tracking Table (OTT).
+"""The Object Tracking Table (OTT), batch and live.
 
 The OTT stores the historical tracking records of all objects (paper,
-Table 2).  Besides plain storage it offers the per-object temporal lookups
-the uncertainty analysis needs — the record covering a time point, and the
+Table 2).  Two variants share one read-side core (:class:`_TrackingReads`):
+
+* :class:`ObjectTrackingTable` — the batch table.  Records may arrive in
+  any global order; per-object ordering and non-overlap are validated on
+  :meth:`~ObjectTrackingTable.freeze`, after which the table is immutable
+  and query-ready.
+* :class:`LiveTrackingTable` — the streaming table.  Records must arrive
+  in per-object time order and are validated *at append time*; the table
+  is always query-ready, supports **open episodes** (a record whose
+  ``t_e`` is still advancing as the object keeps being detected) and
+  exposes a monotonically increasing :attr:`~LiveTrackingTable.generation`
+  counter that downstream caches key their invalidation on.
+
+Besides plain storage both offer the per-object temporal lookups the
+uncertainty analysis needs — the record covering a time point, and the
 predecessor/successor records around an undetected gap — which double as
 the brute-force reference implementation the AR-tree is tested against.
 """
@@ -10,27 +23,168 @@ the brute-force reference implementation the AR-tree is tested against.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
-from .records import DeviceId, ObjectId, TrackingRecord
+from .records import ObjectId, TrackingRecord
 
-__all__ = ["ObjectTrackingTable"]
+__all__ = ["ObjectTrackingTable", "LiveTrackingTable"]
 
 
-class ObjectTrackingTable:
-    """An append-only table of tracking records with per-object ordering.
+def _validate_successor(
+    object_id: ObjectId, previous: TrackingRecord, current: TrackingRecord
+) -> None:
+    """Per-object consistency: sorted by time and non-overlapping.
 
-    Records of the same object must be temporally consistent: sorted by
-    ``t_s`` and non-overlapping (an object is seen by one device at a time;
-    the paper assumes non-overlapping detection ranges, Section 3.4 Remark).
-    Consistency is validated on :meth:`freeze`.
+    An object is seen by one device at a time (the paper assumes
+    non-overlapping detection ranges, Section 3.4 Remark), so a record may
+    start no earlier than its predecessor ends.
+    """
+    if current.t_s < previous.t_e:
+        raise ValueError(
+            f"object {object_id!r}: record {current.record_id} "
+            f"(t_s={current.t_s}) overlaps record "
+            f"{previous.record_id} (t_e={previous.t_e})"
+        )
+
+
+class _TrackingReads:
+    """The read side shared by the frozen and the live table.
+
+    Subclasses maintain ``_records`` (global arrival order), ``_by_object``
+    (per-object, time-sorted once queryable) and ``_start_times`` (the
+    parallel ``t_s`` lists the bisect lookups run on), and gate queries
+    through :meth:`_require_queryable`.
     """
 
-    def __init__(self, records: Iterable[TrackingRecord] = ()):  # noqa: D107
+    def __init__(self) -> None:
         self._records: list[TrackingRecord] = []
         self._by_object: dict[ObjectId, list[TrackingRecord]] = {}
         self._start_times: dict[ObjectId, list[float]] = {}
+
+    def _require_queryable(self) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TrackingRecord]:
+        return iter(self._records)
+
+    @property
+    def object_ids(self) -> list[ObjectId]:
+        return list(self._by_object.keys())
+
+    @property
+    def object_count(self) -> int:
+        return len(self._by_object)
+
+    @property
+    def open_object_ids(self) -> frozenset[ObjectId]:
+        """Objects with an episode still advancing (always empty when frozen)."""
+        return frozenset()
+
+    def time_span(self) -> tuple[float, float]:
+        """The (min t_s, max t_e) over all records."""
+        self._require_queryable()
+        if not self._records:
+            raise ValueError("empty OTT has no time span")
+        return (
+            min(record.t_s for record in self._records),
+            max(record.t_e for record in self._records),
+        )
+
+    def records_for(self, object_id: ObjectId) -> list[TrackingRecord]:
+        """The object's records sorted by start time (copy)."""
+        self._require_queryable()
+        return list(self._by_object.get(object_id, []))
+
+    # ------------------------------------------------------------------
+    # Temporal lookups (reference implementation for the AR-tree)
+    # ------------------------------------------------------------------
+
+    def record_covering(
+        self, object_id: ObjectId, t: float
+    ) -> TrackingRecord | None:
+        """The record whose detection episode covers ``t``, if any."""
+        self._require_queryable()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        index = bisect.bisect_right(self._start_times[object_id], t) - 1
+        if index >= 0 and sequence[index].covers(t):
+            return sequence[index]
+        return None
+
+    def predecessor(
+        self, object_id: ObjectId, t: float
+    ) -> TrackingRecord | None:
+        """The last record with ``t_e < t`` — ``rd_pre`` for an inactive state.
+
+        For an *active* state the paper's ``rd_pre`` is instead the
+        predecessor of the covering record; use :meth:`previous_record`.
+        """
+        self._require_queryable()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        candidate = None
+        for record in sequence:
+            if record.t_e < t:
+                candidate = record
+            else:
+                break
+        return candidate
+
+    def successor(self, object_id: ObjectId, t: float) -> TrackingRecord | None:
+        """The first record with ``t_s > t`` — ``rd_suc`` for an inactive state."""
+        self._require_queryable()
+        sequence = self._by_object.get(object_id)
+        if not sequence:
+            return None
+        index = bisect.bisect_right(self._start_times[object_id], t)
+        if index < len(sequence):
+            return sequence[index]
+        return None
+
+    def previous_record(
+        self, object_id: ObjectId, record: TrackingRecord
+    ) -> TrackingRecord | None:
+        """The record immediately before ``record`` for the same object."""
+        self._require_queryable()
+        sequence = self._by_object.get(object_id, [])
+        for previous, current in zip(sequence, sequence[1:]):
+            if current.record_id == record.record_id:
+                return previous
+        return None
+
+    def records_overlapping(
+        self, object_id: ObjectId, t_start: float, t_end: float
+    ) -> list[TrackingRecord]:
+        """The object's records intersecting the closed window."""
+        self._require_queryable()
+        return [
+            record
+            for record in self._by_object.get(object_id, [])
+            if record.overlaps(t_start, t_end)
+        ]
+
+
+class ObjectTrackingTable(_TrackingReads):
+    """An append-only table of tracking records with per-object ordering.
+
+    Records of the same object must be temporally consistent: sorted by
+    ``t_s`` and non-overlapping.  Consistency is validated on
+    :meth:`freeze`, after which the table is immutable — this is the
+    frozen core batch engines index and the substrate
+    :class:`LiveTrackingTable` snapshots into.
+    """
+
+    def __init__(self, records: Iterable[TrackingRecord] = ()):  # noqa: D107
+        super().__init__()
         self._frozen = False
         for record in records:
             self.append(record)
@@ -62,116 +216,150 @@ class ObjectTrackingTable:
         object_id: ObjectId, sequence: Sequence[TrackingRecord]
     ) -> None:
         for previous, current in zip(sequence, sequence[1:]):
-            if current.t_s < previous.t_e:
-                raise ValueError(
-                    f"object {object_id!r}: record {current.record_id} "
-                    f"(t_s={current.t_s}) overlaps record "
-                    f"{previous.record_id} (t_e={previous.t_e})"
-                )
+            _validate_successor(object_id, previous, current)
 
-    def _require_frozen(self) -> None:
+    def _require_queryable(self) -> None:
         if not self._frozen:
             raise RuntimeError("freeze() the OTT before querying it")
+
+
+class LiveTrackingTable(_TrackingReads):
+    """An append-capable OTT validated at append time, for live ingestion.
+
+    Unlike the batch table, records of one object must arrive in time
+    order — each append is checked against the object's current tail
+    record immediately, so an inconsistent stream fails at the offending
+    record instead of at a much later ``freeze()``.  The table is always
+    queryable; there is no frozen state.
+
+    **Open episodes.**  A record appended with ``open=True`` models an
+    object currently inside a device's range: its ``t_e`` is the latest
+    observation so far and keeps advancing via :meth:`extend_episode`
+    until :meth:`close_episode` fixes it.  At most one episode per object
+    may be open, and it is always the object's last record.
+
+    **Generation.**  Every mutation (append, extend, close) increments
+    :attr:`generation`, a monotonic counter engines and caches use to
+    detect that the table moved under them.
+    """
+
+    def __init__(self, records: Iterable[TrackingRecord] = ()):  # noqa: D107
+        super().__init__()
+        self._generation = 0
+        #: open episode per object: index of the record in ``_records``.
+        self._open: dict[ObjectId, int] = {}
+        for record in records:
+            self.append(record)
+
+    def _require_queryable(self) -> None:
+        pass  # a live table is always consistent, hence always queryable
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __iter__(self) -> Iterator[TrackingRecord]:
-        return iter(self._records)
+    @property
+    def generation(self) -> int:
+        """Monotonically increasing mutation counter (0 when pristine)."""
+        return self._generation
 
     @property
-    def object_ids(self) -> list[ObjectId]:
-        return list(self._by_object.keys())
+    def open_object_ids(self) -> frozenset[ObjectId]:
+        """Objects whose latest episode is still advancing."""
+        return frozenset(self._open)
 
-    @property
-    def object_count(self) -> int:
-        return len(self._by_object)
-
-    def time_span(self) -> tuple[float, float]:
-        """The (min t_s, max t_e) over all records."""
-        self._require_frozen()
-        if not self._records:
-            raise ValueError("empty OTT has no time span")
-        return (
-            min(record.t_s for record in self._records),
-            max(record.t_e for record in self._records),
-        )
-
-    def records_for(self, object_id: ObjectId) -> list[TrackingRecord]:
-        """The object's records sorted by start time (copy)."""
-        self._require_frozen()
-        return list(self._by_object.get(object_id, []))
-
-    # ------------------------------------------------------------------
-    # Temporal lookups (reference implementation for the AR-tree)
-    # ------------------------------------------------------------------
-
-    def record_covering(
-        self, object_id: ObjectId, t: float
-    ) -> TrackingRecord | None:
-        """The record whose detection episode covers ``t``, if any."""
-        self._require_frozen()
+    def last_record(self, object_id: ObjectId) -> TrackingRecord | None:
+        """The object's latest record (open or closed), if any."""
         sequence = self._by_object.get(object_id)
-        if not sequence:
-            return None
-        index = bisect.bisect_right(self._start_times[object_id], t) - 1
-        if index >= 0 and sequence[index].covers(t):
-            return sequence[index]
-        return None
+        return sequence[-1] if sequence else None
 
-    def predecessor(
-        self, object_id: ObjectId, t: float
-    ) -> TrackingRecord | None:
-        """The last record with ``t_e < t`` — ``rd_pre`` for an inactive state.
+    def open_record(self, object_id: ObjectId) -> TrackingRecord | None:
+        """The object's open episode at its current extent, if one is open."""
+        index = self._open.get(object_id)
+        return self._records[index] if index is not None else None
 
-        For an *active* state the paper's ``rd_pre`` is instead the
-        predecessor of the covering record; use :meth:`previous_record`.
+    # ------------------------------------------------------------------
+    # Mutation (validated per call)
+    # ------------------------------------------------------------------
+
+    def append(self, record: TrackingRecord, *, open: bool = False) -> None:
+        """Append one record, validating order/non-overlap right now.
+
+        ``open=True`` leaves the episode advancing (see the class
+        docstring).  Appending to an object with an open episode is
+        rejected — close it first, the stream is ambiguous otherwise.
         """
-        self._require_frozen()
+        object_id = record.object_id
+        if object_id in self._open:
+            raise ValueError(
+                f"object {object_id!r} has an open episode (record "
+                f"{self._records[self._open[object_id]].record_id}); "
+                "close_episode() before appending the next record"
+            )
         sequence = self._by_object.get(object_id)
-        if not sequence:
-            return None
-        candidate = None
-        for record in sequence:
-            if record.t_e < t:
-                candidate = record
-            else:
-                break
-        return candidate
+        if sequence:
+            _validate_successor(object_id, sequence[-1], record)
+        self._records.append(record)
+        self._by_object.setdefault(object_id, []).append(record)
+        self._start_times.setdefault(object_id, []).append(record.t_s)
+        if open:
+            self._open[object_id] = len(self._records) - 1
+        self._generation += 1
 
-    def successor(self, object_id: ObjectId, t: float) -> TrackingRecord | None:
-        """The first record with ``t_s > t`` — ``rd_suc`` for an inactive state."""
-        self._require_frozen()
-        sequence = self._by_object.get(object_id)
-        if not sequence:
-            return None
-        index = bisect.bisect_right(self._start_times[object_id], t)
-        if index < len(sequence):
-            return sequence[index]
-        return None
+    def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
+        """Advance the open episode's ``t_e`` (must not move backwards).
 
-    def previous_record(
-        self, object_id: ObjectId, record: TrackingRecord
-    ) -> TrackingRecord | None:
-        """The record immediately before ``record`` for the same object."""
-        self._require_frozen()
-        sequence = self._by_object.get(object_id, [])
-        for previous, current in zip(sequence, sequence[1:]):
-            if current.record_id == record.record_id:
-                return previous
-        return None
+        Returns the updated record (a fresh immutable instance with the
+        same ``record_id``).
+        """
+        return self._advance_open(object_id, t_e, close=False)
 
-    def records_overlapping(
-        self, object_id: ObjectId, t_start: float, t_end: float
-    ) -> list[TrackingRecord]:
-        """The object's records intersecting the closed window."""
-        self._require_frozen()
-        return [
-            record
-            for record in self._by_object.get(object_id, [])
-            if record.overlaps(t_start, t_end)
-        ]
+    def close_episode(
+        self, object_id: ObjectId, t_e: float | None = None
+    ) -> TrackingRecord:
+        """Fix the open episode's end time and make it a normal record.
+
+        ``t_e=None`` closes at the episode's current extent.  Returns the
+        final record.
+        """
+        return self._advance_open(object_id, t_e, close=True)
+
+    def _advance_open(
+        self, object_id: ObjectId, t_e: float | None, *, close: bool
+    ) -> TrackingRecord:
+        index = self._open.get(object_id)
+        if index is None:
+            raise ValueError(f"object {object_id!r} has no open episode")
+        record = self._records[index]
+        if t_e is None:
+            t_e = record.t_e
+        if t_e < record.t_e:
+            raise ValueError(
+                f"object {object_id!r}: episode end moved backwards "
+                f"({t_e} < {record.t_e})"
+            )
+        updated = TrackingRecord(
+            record_id=record.record_id,
+            object_id=record.object_id,
+            device_id=record.device_id,
+            t_s=record.t_s,
+            t_e=t_e,
+        )
+        self._records[index] = updated
+        self._by_object[object_id][-1] = updated
+        if close:
+            del self._open[object_id]
+        self._generation += 1
+        return updated
+
+    # ------------------------------------------------------------------
+    # Snapshotting
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> ObjectTrackingTable:
+        """An immutable :class:`ObjectTrackingTable` copy of the current state.
+
+        Open episodes are included at their current extent; the live table
+        itself stays live (freezing is a snapshot, not a transition).
+        """
+        return ObjectTrackingTable(self._records).freeze()
