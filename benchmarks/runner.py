@@ -1,0 +1,443 @@
+"""Standalone bench runner emitting schema-versioned ``BENCH_*.json``.
+
+Unlike the pytest-benchmark figures in this directory, the runner needs
+no pytest: it rebuilds the cache/live-ingest scenarios plus a
+snapshot-vs-interval x iterative-vs-join sweep as plain functions, times
+them, captures one instrumented run per scenario through :mod:`repro.obs`
+and writes each as a baseline file (see ``docs/observability.md`` for the
+schema).  CI runs it at tiny scale and uploads the JSON as artifacts;
+committed baselines live under ``benchmarks/baselines/``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/runner.py --scale 0.05 --out benchmarks/baselines
+
+Timings are medians over ``--repeats`` runs measured with instrumentation
+*disabled*; the per-phase span rows embedded in each baseline come from
+one additional instrumented run of the same workload, so the numbers in
+``results`` are never perturbed by the tracer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import statistics
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Mapping
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:  # allow running without PYTHONPATH
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs
+from repro.core.engine import FlowEngine
+from repro.core.monitor import SlidingIntervalTopKMonitor
+from repro.datagen.config import SyntheticConfig
+from repro.datagen.dataset import Dataset
+from repro.datagen.synthetic import build_synthetic_dataset
+from repro.obs.export import bench_baseline, write_baseline
+from repro.tracking import LiveTrackingTable, ObjectTrackingTable
+from repro.tracking.records import TrackingRecord
+
+K = 10
+WINDOW_SECONDS = 240.0
+TICK_SECONDS = 5.0
+TICKS = 4
+LATE_OBJECTS = 4
+
+BENCH_NAMES = ("monitor_cache", "live_ingest", "query_matrix", "obs_overhead")
+
+
+def machine_info() -> dict[str, Any]:
+    """Host provenance stamped into every baseline."""
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def median_ms(run: Callable[[], object], repeats: int) -> float:
+    """Median wall-clock milliseconds over ``repeats`` executions."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        samples.append((time.perf_counter() - started) * 1000.0)
+    return statistics.median(samples)
+
+
+def instrumented(run: Callable[[], object]) -> None:
+    """Execute ``run`` once with tracing/metrics on, leaving the process-wide
+    tracer and registry holding exactly that run's data."""
+    obs.reset()
+    obs.enable()
+    try:
+        run()
+    finally:
+        obs.disable()
+
+
+def emit(
+    out_dir: Path,
+    name: str,
+    scale: float,
+    params: Mapping[str, Any],
+    results: Mapping[str, Any],
+    stats: Mapping[str, Any] | None = None,
+) -> Path:
+    """Assemble and write one ``BENCH_<name>.json`` from the current
+    process-wide observability state."""
+    payload = bench_baseline(
+        name,
+        machine=machine_info(),
+        scale=scale,
+        params=params,
+        results=results,
+        stats=stats,
+    )
+    path = out_dir / f"BENCH_{name}.json"
+    write_baseline(str(path), payload)
+    return path
+
+
+# ----------------------------------------------------------------------
+# Scenario: monitor ticks, cold vs. warm (cf. bench_monitor_cache.py)
+# ----------------------------------------------------------------------
+
+
+def bench_monitor_cache(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    times = [dataset.mid_time() + i * TICK_SECONDS for i in range(TICKS)]
+
+    def run_ticks(engine: FlowEngine) -> None:
+        monitor = SlidingIntervalTopKMonitor(
+            engine, k=K, window_seconds=WINDOW_SECONDS, method="join"
+        )
+        monitor.run(times)
+
+    def cold_run() -> None:
+        run_ticks(dataset.engine(region_cache_size=0, presence_cache_size=0))
+
+    warm_engine = dataset.engine()
+    run_ticks(warm_engine)  # prime the context's caches
+
+    cold_ms = median_ms(cold_run, repeats)
+    warm_ms = median_ms(lambda: run_ticks(warm_engine), repeats)
+
+    warm_engine.reset_stats()
+    instrumented(lambda: run_ticks(warm_engine))
+    stats = warm_engine.stats()
+
+    return emit(
+        out_dir,
+        "monitor_cache",
+        scale,
+        params={
+            "method": "join",
+            "k": K,
+            "window_seconds": WINDOW_SECONDS,
+            "tick_seconds": TICK_SECONDS,
+            "ticks": TICKS,
+        },
+        results={
+            "cold_ticks_ms": round(cold_ms, 3),
+            "warm_ticks_ms": round(warm_ms, 3),
+            "warm_speedup": round(cold_ms / max(warm_ms, 1e-9), 2),
+        },
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario: live ingestion vs. rebuild (cf. bench_live_ingest.py)
+# ----------------------------------------------------------------------
+
+
+def _split_stream(
+    dataset: Dataset,
+) -> tuple[list[TrackingRecord], list[list[TrackingRecord]], tuple[float, float]]:
+    """Base records, per-tick late batches, query window."""
+    t_lo, t_hi = dataset.time_span()
+    window = (t_hi - WINDOW_SECONDS, t_hi)
+    in_window = sorted(
+        {r.object_id for r in dataset.ott if r.t_e > window[0]}
+    )
+    late = in_window[:LATE_OBJECTS]
+    records = sorted(dataset.ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+    base = [r for r in records if r.object_id not in late or r.t_e <= window[0]]
+    batches = [
+        [r for r in records if r.object_id == object_id and r.t_e > window[0]]
+        for object_id in late
+    ]
+    return base, batches, window
+
+
+def _engine_kwargs(dataset: Dataset) -> dict[str, Any]:
+    return dict(
+        floorplan=dataset.floorplan,
+        deployment=dataset.deployment,
+        pois=dataset.pois,
+        v_max=dataset.v_max,
+        detection_slack=2.0 * dataset.sampling_interval,
+    )
+
+
+def _live_engine(dataset: Dataset, base: list[TrackingRecord]) -> FlowEngine:
+    engine = FlowEngine(ott=LiveTrackingTable(base), **_engine_kwargs(dataset))
+    engine.interval_topk(
+        *_split_stream(dataset)[2], K, method="join"
+    )  # warm on the base stream
+    return engine
+
+
+def _run_incremental(engine, batches, window):
+    results = []
+    for batch in batches:
+        engine.ingest(batch)
+        results.append(engine.interval_topk(*window, K, method="join"))
+    return results
+
+
+def _run_rebuild(dataset, base, batches, window):
+    results = []
+    seen = list(base)
+    for batch in batches:
+        seen.extend(batch)
+        engine = FlowEngine(
+            ott=ObjectTrackingTable(seen), **_engine_kwargs(dataset)
+        )
+        results.append(engine.interval_topk(*window, K, method="join"))
+    return results
+
+
+def bench_live_ingest(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    base, batches, window = _split_stream(dataset)
+
+    # Each incremental round needs a fresh pre-warmed live engine (records
+    # can only be ingested once), so timing covers ingest + warm re-query.
+    incremental_samples = []
+    last_incremental = None
+    stats: dict[str, int] = {}
+    for _ in range(repeats):
+        engine = _live_engine(dataset, base)
+        engine.reset_stats()
+        started = time.perf_counter()
+        last_incremental = _run_incremental(engine, batches, window)
+        incremental_samples.append((time.perf_counter() - started) * 1000.0)
+        stats = engine.stats()
+    incremental_ms = statistics.median(incremental_samples)
+    rebuild_ms = median_ms(
+        lambda: _run_rebuild(dataset, base, batches, window), repeats
+    )
+
+    rebuild_results = _run_rebuild(dataset, base, batches, window)
+    assert last_incremental is not None
+    identical = all(
+        a.poi_ids == b.poi_ids and a.flows == b.flows
+        for a, b in zip(last_incremental, rebuild_results)
+    )
+
+    obs_engine = _live_engine(dataset, base)
+    instrumented(lambda: _run_incremental(obs_engine, batches, window))
+
+    return emit(
+        out_dir,
+        "live_ingest",
+        scale,
+        params={
+            "method": "join",
+            "k": K,
+            "window_seconds": WINDOW_SECONDS,
+            "late_objects": LATE_OBJECTS,
+        },
+        results={
+            "incremental_ticks_ms": round(incremental_ms, 3),
+            "rebuild_ticks_ms": round(rebuild_ms, 3),
+            "incremental_speedup": round(
+                rebuild_ms / max(incremental_ms, 1e-9), 2
+            ),
+            "results_identical": identical,
+        },
+        stats=stats,
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario: snapshot-vs-interval x iterative-vs-join sweep
+# ----------------------------------------------------------------------
+
+
+def bench_query_matrix(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    engine = dataset.engine()
+    t = dataset.mid_time()
+    window = (t - WINDOW_SECONDS, t)
+
+    runs: dict[str, Callable[[], object]] = {}
+    for method in ("iterative", "join"):
+        runs[f"snapshot_{method}_ms"] = (
+            lambda m=method: engine.snapshot_topk(t, K, method=m)
+        )
+        runs[f"interval_{method}_ms"] = (
+            lambda m=method: engine.interval_topk(*window, K, method=m)
+        )
+
+    for run in runs.values():  # warm the context's caches once per cell
+        run()
+    results = {
+        label: round(median_ms(run, repeats), 3) for label, run in runs.items()
+    }
+
+    engine.reset_stats()
+
+    def all_cells() -> None:
+        for run in runs.values():
+            run()
+
+    instrumented(all_cells)
+
+    return emit(
+        out_dir,
+        "query_matrix",
+        scale,
+        params={
+            "k": K,
+            "window_seconds": WINDOW_SECONDS,
+            "methods": ["iterative", "join"],
+            "queries": ["snapshot", "interval"],
+        },
+        results=results,
+        stats=engine.stats(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Scenario: instrumentation overhead micro-benchmark
+# ----------------------------------------------------------------------
+
+
+def bench_obs_overhead(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    iterations = 200_000
+
+    def bare_loop() -> None:
+        for _ in range(iterations):
+            pass
+
+    def span_loop() -> None:
+        for _ in range(iterations):
+            with obs.span("bench.noop"):
+                pass
+
+    obs.disable()
+    bare_ms = median_ms(bare_loop, repeats)
+    disabled_ms = median_ms(span_loop, repeats)
+    obs.reset()
+    obs.enable()
+    try:
+        enabled_ms = median_ms(span_loop, repeats)
+    finally:
+        obs.disable()
+        obs.reset()
+
+    disabled_ns = (disabled_ms - bare_ms) * 1e6 / iterations
+    enabled_ns = (enabled_ms - bare_ms) * 1e6 / iterations
+
+    # Macro check against the live-ingest workload: count how many spans
+    # and metric updates one instrumented run emits, then bound what the
+    # same run pays with the flag off (span calls x disabled no-op cost).
+    base, batches, window = _split_stream(dataset)
+    engine = _live_engine(dataset, base)
+    started = time.perf_counter()
+    _run_incremental(engine, batches, window)
+    workload_ms = (time.perf_counter() - started) * 1000.0
+
+    obs_engine = _live_engine(dataset, base)
+    instrumented(lambda: _run_incremental(obs_engine, batches, window))
+    span_calls = sum(row.count for row in obs.TRACER.snapshot())
+    estimated_disabled_ms = span_calls * max(disabled_ns, 0.0) / 1e6
+    overhead_percent = 100.0 * estimated_disabled_ms / max(workload_ms, 1e-9)
+
+    return emit(
+        out_dir,
+        "obs_overhead",
+        scale,
+        params={"iterations": iterations, "workload": "live_ingest"},
+        results={
+            "bare_loop_ms": round(bare_ms, 3),
+            "disabled_span_ns": round(disabled_ns, 1),
+            "enabled_span_ns": round(enabled_ns, 1),
+            "workload_ms": round(workload_ms, 3),
+            "workload_span_calls": span_calls,
+            "estimated_disabled_overhead_ms": round(estimated_disabled_ms, 4),
+            "estimated_disabled_overhead_percent": round(overhead_percent, 3),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+
+_SCENARIOS: dict[str, Callable[[Dataset, Path, float, int], Path]] = {
+    "monitor_cache": bench_monitor_cache,
+    "live_ingest": bench_live_ingest,
+    "query_matrix": bench_query_matrix,
+    "obs_overhead": bench_obs_overhead,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the repro benches and write BENCH_*.json baselines."
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.05,
+        help="population scale relative to the paper's |O| (default 0.05)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timing repeats per measurement; the median is reported",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "benchmarks" / "baselines",
+        help="directory for the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(_SCENARIOS),
+        help="run only the named scenario (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    if args.scale <= 0:
+        parser.error("--scale must be positive")
+    if args.repeats < 1:
+        parser.error("--repeats must be positive")
+
+    names = args.only if args.only else list(BENCH_NAMES)
+    args.out.mkdir(parents=True, exist_ok=True)
+
+    print(f"building synthetic dataset at scale {args.scale} ...", flush=True)
+    dataset = build_synthetic_dataset(SyntheticConfig().scaled(args.scale))
+
+    for name in names:
+        started = time.perf_counter()
+        path = _SCENARIOS[name](dataset, args.out, args.scale, args.repeats)
+        elapsed = time.perf_counter() - started
+        print(f"  {name:<14} -> {path}  ({elapsed:.1f}s)", flush=True)
+    print(f"wrote {len(names)} baseline(s) to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """Visual debugging: render uncertainty regions over the floor plan.
 
-Produces three SVG files in the working directory:
+Produces three SVG files (under ``docs/assets/`` when run inside the
+repository, else the working directory):
 
 * ``viz_snapshot.svg`` — one object's snapshot uncertainty region with its
   true (simulated) position marked;
@@ -15,9 +16,18 @@ Run with::
     python examples/visual_debug.py
 """
 
+from pathlib import Path
+
 from repro.core import snapshot_contexts, snapshot_region
 from repro.datagen import SyntheticConfig, build_synthetic_dataset
 from repro.viz import SvgCanvas
+
+
+def _out(name: str) -> str:
+    """Place output beside the committed copies in docs/assets when the
+    repo layout is visible from the working directory."""
+    assets = Path("docs") / "assets"
+    return str(assets / name) if assets.is_dir() else name
 
 
 def main() -> None:
@@ -46,7 +56,7 @@ def main() -> None:
     region = engine.snapshot_region_of(object_id, t)
     canvas.draw_region(region, fill="#d62728")
     canvas.draw_marker(truth.x, truth.y, label=f"{object_id} (truth)")
-    print("wrote", canvas.save("viz_snapshot.svg"))
+    print("wrote", canvas.save(_out("viz_snapshot.svg")))
 
     # --- interval region --------------------------------------------------
     start, end = t - 120.0, t + 120.0
@@ -61,7 +71,7 @@ def main() -> None:
             f"({', '.join(e.kind for e in uncertainty.episodes[:8])}...)"
         )
     canvas.draw_trajectory(trajectory)
-    print("wrote", canvas.save("viz_interval.svg"))
+    print("wrote", canvas.save(_out("viz_interval.svg")))
 
     # --- topology check comparison ----------------------------------------
     canvas = SvgCanvas.for_floorplan(dataset.floorplan)
@@ -79,7 +89,7 @@ def main() -> None:
     canvas.draw_region(unchecked, fill="#1f77b4", opacity=0.25)
     canvas.draw_region(checked, fill="#d62728", opacity=0.45)
     canvas.draw_marker(truth.x, truth.y, label="truth")
-    print("wrote", canvas.save("viz_topology.svg"))
+    print("wrote", canvas.save(_out("viz_topology.svg")))
     print(
         "  blue = Euclidean-only region, red = after the indoor topology "
         "check (must contain the truth marker)"

@@ -1,0 +1,166 @@
+"""Check intra-repo markdown links.
+
+Documentation rots fastest at its seams: a file is moved
+(``docs/assets/``), a section is renamed, and a relative link in some
+other document silently points at nothing.  This checker walks the
+repo's markdown files, extracts every inline link and resolves the
+relative ones against the linking file's directory; a target that does
+not exist on disk is a finding.
+
+External links (``http(s)://``, ``mailto:``), pure in-page anchors
+(``#section``) and absolute paths are skipped — the checker guards the
+repo's own cross-references, not the internet.  Anchor suffixes on
+relative links (``api.md#flowengine``) are stripped before resolution;
+anchor validity is not checked (heading slugs are host-specific).
+
+Usage::
+
+    python -m repro.analysis.doclinks            # repo root, all *.md
+    python -m repro.analysis.doclinks docs README.md
+
+Exit codes follow ``repro.analysis``: 0 clean, 1 broken links found,
+2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["BrokenLink", "check_file", "collect_markdown", "main"]
+
+#: Inline markdown links/images: ``[text](target)`` / ``![alt](target)``.
+#: The target group stops at whitespace or the closing paren, which also
+#: drops optional ``"title"`` parts.
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)[^)]*\)")
+
+#: Fenced code block delimiters — links inside fences are examples, not
+#: references, and are skipped.
+_FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+#: Inline code spans — ``Φ_[t_s, t_e](p)`` inside backticks would
+#: otherwise parse as a link with target ``p``.  Double-backtick spans
+#: (RST idiom surviving in generated docs) are matched before single.
+_CODE_SPAN_RE = re.compile(r"``[^`]*``|`[^`]*`")
+
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Directories never scanned for markdown sources.
+_SKIP_DIRS = frozenset(
+    {".git", ".venv", "node_modules", "__pycache__", ".pytest_cache"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class BrokenLink:
+    """One unresolvable intra-repo link."""
+
+    source: Path
+    line: int
+    target: str
+
+    def __str__(self) -> str:
+        return f"{self.source}:{self.line}: broken link -> {self.target}"
+
+
+def _is_checkable(target: str) -> bool:
+    """Whether ``target`` is a relative intra-repo path worth resolving."""
+    if not target or target.startswith("#"):
+        return False
+    if target.startswith(_EXTERNAL_PREFIXES):
+        return False
+    if target.startswith("/"):  # host-absolute; outside our tree model
+        return False
+    if "://" in target:  # any other scheme
+        return False
+    return True
+
+
+def check_file(path: Path) -> list[BrokenLink]:
+    """All broken relative links in one markdown file.
+
+    Args:
+        path: The markdown file to scan.
+
+    Returns:
+        One :class:`BrokenLink` per unresolvable relative target, in
+        file order.  Links inside fenced code blocks are ignored.
+    """
+    broken: list[BrokenLink] = []
+    in_fence = False
+    text = path.read_text(encoding="utf-8")
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if _FENCE_RE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        line = _CODE_SPAN_RE.sub("", line)
+        for match in _LINK_RE.finditer(line):
+            target = match.group(1).split("#", 1)[0]
+            if not _is_checkable(target):
+                continue
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(
+                    BrokenLink(source=path, line=lineno, target=match.group(1))
+                )
+    return broken
+
+
+def collect_markdown(roots: list[Path]) -> list[Path]:
+    """All ``*.md`` files under ``roots`` (files are taken verbatim).
+
+    Args:
+        roots: Files or directories to scan.
+
+    Returns:
+        Sorted, de-duplicated markdown paths; directories in
+        :data:`_SKIP_DIRS` are pruned.
+    """
+    found: set[Path] = set()
+    for root in roots:
+        if root.is_file():
+            found.add(root)
+            continue
+        for path in root.rglob("*.md"):
+            if any(part in _SKIP_DIRS for part in path.parts):
+                continue
+            found.add(path)
+    return sorted(found)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Check intra-repo markdown links resolve to real files."
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="markdown files or directories to scan (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    roots = args.paths or [Path(__file__).resolve().parents[3]]
+    missing = [root for root in roots if not root.exists()]
+    if missing:
+        for root in missing:
+            print(f"error: no such path: {root}")
+        return 2
+    files = collect_markdown(roots)
+    broken: list[BrokenLink] = []
+    for path in files:
+        broken.extend(check_file(path))
+    for finding in broken:
+        print(finding)
+    print(
+        f"checked {len(files)} markdown file(s): "
+        f"{len(broken)} broken link(s)"
+    )
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,12 @@ All functions take an :class:`~repro.core.context.EvaluationContext`,
 which carries the evaluation parameters (deployment, ``v_max``, estimator,
 topology, allowance) and memoizes region construction and presence
 quadrature — repeated queries over the same data reuse both.
+
+With :mod:`repro.obs` enabled, each run is traced per phase: candidate
+selection (``candidates.snapshot`` / ``candidates.interval``), per-object
+uncertainty-region resolution (``ur.snapshot`` / ``ur.interval``) and
+presence accumulation (``presence.accumulate``); the context adds the
+finer ``ur.build.<kind>`` and ``presence.quadrature`` spans underneath.
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from ...analysis.contracts import check_flow, contracts_enabled
 from ...geometry import Region
 from ...index import ARTree, RTree
 from ...indoor.poi import Poi
+from ...obs import span
 from ..context import EvaluationContext
 from ..queries import TopKResult, rank_top_k
 from ..states import interval_contexts, snapshot_contexts
@@ -59,12 +66,16 @@ def snapshot_flows(
     """``Φ_t(p)`` for every POI with non-zero flow (Definition 2)."""
     flows: dict[str, float] = {}
     candidates = 0
-    for context in snapshot_contexts(artree, t):
+    with span("candidates.snapshot"):
+        contexts = list(snapshot_contexts(artree, t))
+    for context in contexts:
         candidates += 1
-        region = ctx.snapshot_region(context)
-        _accumulate(
-            flows, region, ctx.snapshot_fingerprint(context), poi_tree, ctx
-        )
+        with span("ur.snapshot"):
+            region = ctx.snapshot_region(context)
+        with span("presence.accumulate"):
+            _accumulate(
+                flows, region, ctx.snapshot_fingerprint(context), poi_tree, ctx
+            )
     if contracts_enabled():
         for poi_id, flow in flows.items():
             check_flow(flow, candidates, poi_id=poi_id)
@@ -81,16 +92,20 @@ def interval_flows(
     """``Φ_[t_s, t_e](p)`` for every POI with non-zero flow."""
     flows: dict[str, float] = {}
     candidates = 0
-    for context in interval_contexts(artree, t_start, t_end):
+    with span("candidates.interval"):
+        contexts = list(interval_contexts(artree, t_start, t_end))
+    for context in contexts:
         candidates += 1
-        uncertainty = ctx.interval_uncertainty(context)
-        _accumulate(
-            flows,
-            uncertainty.region,
-            ctx.interval_fingerprint(uncertainty),
-            poi_tree,
-            ctx,
-        )
+        with span("ur.interval"):
+            uncertainty = ctx.interval_uncertainty(context)
+        with span("presence.accumulate"):
+            _accumulate(
+                flows,
+                uncertainty.region,
+                ctx.interval_fingerprint(uncertainty),
+                poi_tree,
+                ctx,
+            )
     if contracts_enabled():
         for poi_id, flow in flows.items():
             check_flow(flow, candidates, poi_id=poi_id)

@@ -32,6 +32,7 @@ from ...analysis.contracts import check_flow, check_upper_bound, contracts_enabl
 from ...geometry import Mbr, Region
 from ...index import ARTree, AggregateRTree, RTree, RTreeEntry
 from ...indoor.poi import Poi
+from ...obs import counter, obs_enabled, span
 from ..context import EvaluationContext
 from ..presence import PresenceEstimator
 from ..queries import RankedPoi, TopKResult, rank_top_k
@@ -136,9 +137,10 @@ def _topk_join(
     if not objects or len(poi_tree) == 0:
         return rank_top_k({}, pois, k)
 
-    object_tree = AggregateRTree.build(
-        [(obj.mbr, obj) for obj in objects], max_entries=rtree_fanout
-    )
+    with span("join.build_ri"):
+        object_tree = AggregateRTree.build(
+            [(obj.mbr, obj) for obj in objects], max_entries=rtree_fanout
+        )
     sequence = count()
     heap: list[
         tuple[float, int, RTreeEntry, list[RTreeEntry] | None]
@@ -156,9 +158,49 @@ def _topk_join(
         if join_list:
             push(poi_entry, join_list, upper_bound)
 
+    with span("join.bound_refine"):
+        confirmed = _drain_heap(
+            heap,
+            push,
+            object_tree,
+            k,
+            use_segment_mbrs,
+            presence,
+        )
+
+    if len(confirmed) < k:
+        # Queue exhausted: every remaining POI has zero flow; fill the
+        # k-subset deterministically.
+        found = {entry.poi.poi_id for entry in confirmed}
+        for poi in sorted(pois, key=lambda p: p.poi_id):
+            if len(confirmed) >= k:
+                break
+            if poi.poi_id not in found:
+                confirmed.append(RankedPoi(poi=poi, flow=0.0))
+    return TopKResult(entries=tuple(confirmed[:k]))
+
+
+def _drain_heap(
+    heap: list[tuple[float, int, RTreeEntry, list[RTreeEntry] | None]],
+    push: Callable[[RTreeEntry, list[RTreeEntry] | None, float], None],
+    object_tree: AggregateRTree,
+    k: int,
+    use_segment_mbrs: bool,
+    presence: Callable[[JoinObject, Poi], float],
+) -> list[RankedPoi]:
+    """The best-first refinement loop of Algorithms 2/3/5.
+
+    Pops the highest upper bound, refines it (expand R_P/R_I entries or
+    compute the exact flow) and stops once ``k`` POIs with exact flows
+    outrank every remaining bound.  Split out so the whole bound-driven
+    phase sits under one ``join.bound_refine`` span.
+    """
+    instrumented = obs_enabled()
     confirmed: list[RankedPoi] = []
     while heap and len(confirmed) < k:
         negative_priority, _, poi_entry, join_list = heapq.heappop(heap)
+        if instrumented:
+            counter("join.heap_pops", unit="pops").inc()
         if join_list is None:
             # Exact flow already computed and it outranks every remaining
             # upper bound: confirmed.
@@ -209,17 +251,7 @@ def _topk_join(
                 )
                 if refined:
                     push(child_entry, refined, upper_bound)
-
-    if len(confirmed) < k:
-        # Queue exhausted: every remaining POI has zero flow; fill the
-        # k-subset deterministically.
-        found = {entry.poi.poi_id for entry in confirmed}
-        for poi in sorted(pois, key=lambda p: p.poi_id):
-            if len(confirmed) >= k:
-                break
-            if poi.poi_id not in found:
-                confirmed.append(RankedPoi(poi=poi, flow=0.0))
-    return TopKResult(entries=tuple(confirmed[:k]))
+    return confirmed
 
 
 # ----------------------------------------------------------------------
@@ -244,18 +276,21 @@ def join_snapshot(
 ) -> TopKResult:
     """Algorithm 2: aggregate-R-tree join for the snapshot query."""
     objects: list[JoinObject] = []
-    for context in snapshot_contexts(artree, t):
-        mbr = snapshot_mbr(context, ctx.deployment, ctx.v_max)
-        if mbr is None:
-            continue
-        objects.append(
-            JoinObject(
-                object_id=context.object_id,
-                mbr=mbr,
-                region_factory=lambda sctx=context: ctx.snapshot_region(sctx),
-                region_key=ctx.snapshot_fingerprint(context),
+    with span("candidates.snapshot"):
+        for context in snapshot_contexts(artree, t):
+            mbr = snapshot_mbr(context, ctx.deployment, ctx.v_max)
+            if mbr is None:
+                continue
+            objects.append(
+                JoinObject(
+                    object_id=context.object_id,
+                    mbr=mbr,
+                    region_factory=lambda sctx=context: ctx.snapshot_region(
+                        sctx
+                    ),
+                    region_key=ctx.snapshot_fingerprint(context),
+                )
             )
-        )
     return _topk_join(
         poi_tree,
         pois,
@@ -287,23 +322,25 @@ def join_interval(
     coarse MBR per object trajectory) for ablation.
     """
     objects: list[JoinObject] = []
-    for context in interval_contexts(artree, t_start, t_end):
-        uncertainty = ctx.interval_uncertainty(context)
-        overall_mbr = uncertainty.mbr
-        if overall_mbr is None:
-            continue
-        segments = (
-            tuple(uncertainty.segment_mbrs()) if use_segment_mbrs else None
-        )
-        objects.append(
-            JoinObject(
-                object_id=context.object_id,
-                mbr=overall_mbr,
-                region_factory=lambda u=uncertainty: u.region,
-                segment_mbrs=segments,
-                region_key=ctx.interval_fingerprint(uncertainty),
+    with span("candidates.interval"):
+        for context in interval_contexts(artree, t_start, t_end):
+            with span("ur.interval"):
+                uncertainty = ctx.interval_uncertainty(context)
+            overall_mbr = uncertainty.mbr
+            if overall_mbr is None:
+                continue
+            segments = (
+                tuple(uncertainty.segment_mbrs()) if use_segment_mbrs else None
             )
-        )
+            objects.append(
+                JoinObject(
+                    object_id=context.object_id,
+                    mbr=overall_mbr,
+                    region_factory=lambda u=uncertainty: u.region,
+                    segment_mbrs=segments,
+                    region_key=ctx.interval_fingerprint(uncertainty),
+                )
+            )
     return _topk_join(
         poi_tree,
         pois,

@@ -53,6 +53,7 @@ from ..analysis.contracts import (
 )
 from ..geometry import DEFAULT_RESOLUTION, Mbr, Region
 from ..indoor.devices import Deployment, Device
+from ..obs import counter, obs_enabled, span
 from .caching import LruCache
 from .presence import PresenceEstimator
 from .uncertainty.interval import IntervalUncertainty, interval_uncertainty
@@ -84,6 +85,7 @@ class EvaluationStats:
     topology_prunes: int = 0
 
     def as_dict(self) -> dict[str, int]:
+        """The counters as a plain dict (feeds ``FlowEngine.stats``)."""
         return {
             "regions_computed": self.regions_computed,
             "region_cache_hits": self.region_cache_hits,
@@ -93,6 +95,7 @@ class EvaluationStats:
         }
 
     def reset(self) -> None:
+        """Zero all counters."""
         self.regions_computed = 0
         self.region_cache_hits = 0
         self.presence_evaluations = 0
@@ -128,12 +131,16 @@ class _CountingTopology:
 
     def ring_constraint(self, device: Device, budget: float) -> Region:
         self._stats.topology_prunes += 1
+        if obs_enabled():
+            counter("topology.prunes", unit="constraints").inc()
         return self._checker.ring_constraint(device, budget)
 
     def path_constraint(
         self, device_a: Device, device_b: Device, budget: float
     ) -> Region:
         self._stats.topology_prunes += 1
+        if obs_enabled():
+            counter("topology.prunes", unit="constraints").inc()
         return self._checker.path_constraint(device_a, device_b, budget)
 
 
@@ -220,6 +227,17 @@ class EvaluationContext:
         This is *the* way to change a query parameter: caches are keyed per
         context, so a replacement can never serve regions computed under
         the old parameters.
+
+        Args:
+            **overrides: Constructor keyword(s) to change (``v_max``,
+                ``resolution``, ``topology``, cache sizes, …).
+
+        Returns:
+            A new :class:`EvaluationContext` with cold caches.
+
+        Raises:
+            ValueError: If an override violates a constructor constraint
+                (non-positive ``v_max``, negative ``inner_allowance``).
         """
         settings: dict[str, Any] = dict(
             deployment=self.deployment,
@@ -240,10 +258,17 @@ class EvaluationContext:
         self._presence_cache.clear()
 
     def reset_stats(self) -> None:
+        """Zero the evaluation counters (cache contents are kept)."""
         self.stats.reset()
 
     def stats_dict(self) -> dict[str, int]:
-        """Counters plus current cache occupancy and data generation."""
+        """Counters plus current cache occupancy and data generation.
+
+        Returns:
+            The :class:`EvaluationStats` counters plus
+            ``region_cache_entries``, ``presence_cache_entries`` and
+            ``data_generation``.
+        """
         stats = self.stats.as_dict()
         stats["region_cache_entries"] = len(self._region_cache)
         stats["presence_cache_entries"] = len(self._presence_cache)
@@ -298,13 +323,38 @@ class EvaluationContext:
         invariant.  The verification rebuild runs outside the counters, but
         its topology constraint constructions do inflate
         ``topology_prunes``; contract mode trades stats purity for checking.
+
+        With :mod:`repro.obs` enabled, cache-miss builds are timed under a
+        ``ur.build.<kind>`` span (kind = ``snapshot`` / ``detection`` /
+        ``gap`` / ``lead`` / ``trail``) and hits/misses mirrored into the
+        ``ctx.region.hits`` / ``ctx.region.misses`` counters — observation
+        only, never part of the cache key or the value.
+
+        Args:
+            key: The parameter-free key part; its first element names the
+                region kind.
+            builder: Zero-argument callable constructing the region on a
+                miss.
+
+        Returns:
+            The cached or freshly built value.
         """
+        build = builder
+        if obs_enabled():
+            kind = key[0] if key and isinstance(key[0], str) else "region"
+
+            def build() -> _R:
+                with span(f"ur.build.{kind}"):
+                    return builder()
+
         raw, hit = self._region_cache.get_or_build(
-            (key, self.params_epoch), builder
+            (key, self.params_epoch), build
         )
         value = cast(_R, raw)
         if hit:
             self.stats.region_cache_hits += 1
+            if obs_enabled():
+                counter("ctx.region.hits", unit="regions").inc()
             if contracts_enabled():
                 check_region_fingerprint(
                     _mbr_fingerprint(value),
@@ -313,10 +363,20 @@ class EvaluationContext:
                 )
         else:
             self.stats.regions_computed += 1
+            if obs_enabled():
+                counter("ctx.region.misses", unit="regions").inc()
         return value
 
     def snapshot_region(self, context: "SnapshotContext") -> Region:
-        """Memoized ``UR(o, t)`` for one snapshot context."""
+        """Memoized ``UR(o, t)`` for one snapshot context.
+
+        Args:
+            context: The object's snapshot state (covering / neighbouring
+                records around ``t``).
+
+        Returns:
+            The (possibly topology-checked) snapshot uncertainty region.
+        """
         return self.memo_region(
             snapshot_region_key(context),
             lambda: snapshot_region(
@@ -335,6 +395,13 @@ class EvaluationContext:
         episode's region construction goes through the region cache — a
         sliding window therefore only computes the episodes whose effective
         window changed.
+
+        Args:
+            context: The object's interval state (records overlapping the
+                window).
+
+        Returns:
+            The object's :class:`IntervalUncertainty`.
         """
         return interval_uncertainty(
             context,
@@ -377,17 +444,42 @@ class EvaluationContext:
 
         ``fingerprint`` identifies the region's geometry; pass ``None`` for
         regions not built through this context (no caching, still counted).
+
+        With :mod:`repro.obs` enabled, quadrature runs are timed under a
+        ``presence.quadrature`` span and hits/misses mirrored into the
+        ``ctx.presence.hits`` / ``ctx.presence.misses`` counters.
+
+        Args:
+            region: The uncertainty region.
+            poi: The POI to intersect it with.
+            fingerprint: The region's geometry identity for caching, or
+                ``None`` to evaluate uncached.
+
+        Returns:
+            The presence value in ``[0, 1]``.
+
+        Raises:
+            AssertionError: Under ``REPRO_CONTRACTS=1``, if the estimator
+                returns a value outside ``[0, 1]`` or a cached value
+                diverges from a fresh evaluation.
         """
         if fingerprint is None:
             self.stats.presence_evaluations += 1
+            if obs_enabled():
+                counter("ctx.presence.misses", unit="evaluations").inc()
+                with span("presence.quadrature"):
+                    value = self.estimator.presence(region, poi)
+            else:
+                value = self.estimator.presence(region, poi)
             return check_presence(
-                self.estimator.presence(region, poi),
-                where=f"presence in POI {poi.poi_id!r}",
+                value, where=f"presence in POI {poi.poi_id!r}"
             )
         key = (fingerprint, poi.poi_id, self.params_epoch)
         cached = self._presence_cache.get(key)
         if cached is not None:
             self.stats.presence_cache_hits += 1
+            if obs_enabled():
+                counter("ctx.presence.hits", unit="evaluations").inc()
             if contracts_enabled():
                 check_cached_value(
                     cached,
@@ -397,9 +489,14 @@ class EvaluationContext:
                 )
             return cached
         self.stats.presence_evaluations += 1
+        if obs_enabled():
+            counter("ctx.presence.misses", unit="evaluations").inc()
+            with span("presence.quadrature"):
+                fresh = self.estimator.presence(region, poi)
+        else:
+            fresh = self.estimator.presence(region, poi)
         value = check_presence(
-            self.estimator.presence(region, poi),
-            where=f"presence in POI {poi.poi_id!r}",
+            fresh, where=f"presence in POI {poi.poi_id!r}"
         )
         self._presence_cache.put(key, value)
         return value

@@ -40,6 +40,7 @@ from ..indoor.devices import Deployment
 from ..indoor.distance import IndoorDistanceOracle
 from ..indoor.floorplan import FloorPlan
 from ..indoor.poi import Poi, build_poi_index
+from ..obs import counter, obs_enabled, span
 from ..tracking.records import ObjectId, TrackingRecord
 from ..tracking.table import LiveTrackingTable, ObjectTrackingTable
 from .algorithms.iterative import (
@@ -178,26 +179,32 @@ class FlowEngine:
 
     @property
     def deployment(self) -> Deployment:
+        """The positioning-device deployment regions are derived against."""
         return self.ctx.deployment
 
     @property
     def v_max(self) -> float:
+        """Maximum indoor movement speed (m/s) — the paper's ``V_max``."""
         return self.ctx.v_max
 
     @property
     def estimator(self) -> PresenceEstimator:
+        """The presence (grid quadrature) estimator in use."""
         return self.ctx.estimator
 
     @property
     def topology(self) -> TopologyChecker | None:
+        """The indoor topology checker, or ``None`` when ablated."""
         return self.ctx.topology
 
     @property
     def inner_allowance(self) -> float:
+        """Ring inner-exclusion relaxation in meters (``v_max * slack``)."""
         return self.ctx.inner_allowance
 
     @property
     def rtree_fanout(self) -> int:
+        """Node capacity for per-query R-trees (POI subsets, join R_I)."""
         return self.ctx.rtree_fanout
 
     # ------------------------------------------------------------------
@@ -235,15 +242,31 @@ class FlowEngine:
 
         Records are applied one by one: if one fails validation, the
         records before it remain ingested and the error propagates.
+
+        Args:
+            records: Closed tracking records, in per-object chronological
+                order (each object's appends must not overlap or run
+                backwards in time).
+
+        Returns:
+            The number of records ingested.
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch (``live=False``).
+            ValueError: If a record fails the live table's at-append
+                validation; earlier records of the batch stay ingested.
         """
         live = self._require_live()
         count = 0
-        for record in records:
-            predecessor = live.last_record(record.object_id)
-            live.append(record)
-            self.artree.append_record(record, predecessor)
-            self.ctx.note_append(record.object_id)
-            count += 1
+        with span("ingest.batch"):
+            for record in records:
+                predecessor = live.last_record(record.object_id)
+                live.append(record)
+                self.artree.append_record(record, predecessor)
+                self.ctx.note_append(record.object_id)
+                count += 1
+        if obs_enabled():
+            counter("engine.ingest.records", unit="records").inc(count)
         return count
 
     def ingest_open(self, record: TrackingRecord) -> None:
@@ -252,6 +275,15 @@ class FlowEngine:
         The record enters table and index like a normal append but stays
         patchable: :meth:`extend_episode` advances its end time and
         :meth:`close_episode` fixes it.
+
+        Args:
+            record: The episode's initial extent (``t_e`` may equal
+                ``t_s``; it will be advanced by :meth:`extend_episode`).
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch.
+            ValueError: If the record fails at-append validation or the
+                object already has an open episode.
         """
         live = self._require_live()
         predecessor = live.last_record(record.object_id)
@@ -260,7 +292,20 @@ class FlowEngine:
         self.ctx.note_append(record.object_id)
 
     def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
-        """Advance an open episode's end time; returns the updated record."""
+        """Advance an open episode's end time.
+
+        Args:
+            object_id: The object whose episode is open.
+            t_e: The new end time (must not move backwards).
+
+        Returns:
+            The updated (still open) tracking record.
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch.
+            ValueError: If the object has no open episode or ``t_e``
+                retreats.
+        """
         live = self._require_live()
         updated = live.extend_episode(object_id, t_e)
         self.artree.patch_tail(updated, open=True)
@@ -270,7 +315,21 @@ class FlowEngine:
     def close_episode(
         self, object_id: ObjectId, t_e: float | None = None
     ) -> TrackingRecord:
-        """Close an open episode (at ``t_e``, or its current extent)."""
+        """Close an open episode, freezing its extent.
+
+        Args:
+            object_id: The object whose episode is open.
+            t_e: Optional final end time; defaults to the episode's
+                current extent.
+
+        Returns:
+            The closed tracking record.
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch.
+            ValueError: If the object has no open episode or ``t_e``
+                retreats.
+        """
         live = self._require_live()
         closed = live.close_episode(object_id, t_e)
         self.artree.patch_tail(closed, open=False)
@@ -284,12 +343,18 @@ class FlowEngine:
     def stats(self) -> dict[str, int]:
         """Evaluation counters and cache occupancy since the last reset.
 
-        Keys: ``regions_computed``, ``region_cache_hits``,
-        ``presence_evaluations``, ``presence_cache_hits``,
-        ``topology_prunes``, ``region_cache_entries``,
-        ``presence_cache_entries``, ``data_generation``,
-        ``estimator_cached_pois``, ``poi_subset_trees_built``,
-        ``artree_delta_entries``, ``artree_compactions``.
+        These counters are part of the engine's semantics (tests assert
+        on them); the :mod:`repro.obs` layer observes *around* them and
+        never feeds into them.
+
+        Returns:
+            A dict with the keys ``regions_computed``,
+            ``region_cache_hits``, ``presence_evaluations``,
+            ``presence_cache_hits``, ``topology_prunes``,
+            ``region_cache_entries``, ``presence_cache_entries``,
+            ``data_generation``, ``estimator_cached_pois``,
+            ``poi_subset_trees_built``, ``artree_delta_entries``,
+            ``artree_compactions``.
         """
         stats = self.ctx.stats_dict()
         stats["estimator_cached_pois"] = self.ctx.estimator.sample_cache_size
@@ -343,15 +408,37 @@ class FlowEngine:
         pois: Sequence[Poi] | None = None,
         method: str = "join",
     ) -> TopKResult:
-        """Problem 1: the k POIs most visited at time point ``t``."""
+        """Problem 1: the k POIs most visited at time point ``t``.
+
+        Args:
+            t: The query instant (same clock as the tracking records).
+            k: How many POIs to return.
+            pois: Optional query subset P; defaults to the engine's full
+                POI universe.  Subset R-trees are memoized per identity.
+            method: ``"join"`` (Algorithm 2, default) or ``"iterative"``
+                (Algorithm 1) — both return identical rankings.
+
+        Returns:
+            The ranked :class:`~repro.core.queries.TopKResult`; flows are
+            exact for every returned POI.
+
+        Raises:
+            ValueError: If ``method`` is unknown, ``k < 1``, or an empty
+                ``pois`` sequence is passed.
+        """
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
         query_pois, poi_tree = self._query_pois(pois)
-        if method == "join":
-            return join_snapshot(self.artree, poi_tree, query_pois, self.ctx, t, k)
-        if method == "iterative":
+        with span(f"query.snapshot.{method}"):
+            if method == "join":
+                return join_snapshot(
+                    self.artree, poi_tree, query_pois, self.ctx, t, k
+                )
             return iterative_snapshot(
                 self.artree, poi_tree, query_pois, self.ctx, t, k
             )
-        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
     def interval_topk(
         self,
@@ -362,24 +449,45 @@ class FlowEngine:
         method: str = "join",
         use_segment_mbrs: bool = True,
     ) -> TopKResult:
-        """Problem 2: the k POIs most visited during ``[t_start, t_end]``."""
-        query_pois, poi_tree = self._query_pois(pois)
-        if method == "join":
-            return join_interval(
-                self.artree,
-                poi_tree,
-                query_pois,
-                self.ctx,
-                t_start,
-                t_end,
-                k,
-                use_segment_mbrs=use_segment_mbrs,
+        """Problem 2: the k POIs most visited during ``[t_start, t_end]``.
+
+        Args:
+            t_start: Window start (inclusive).
+            t_end: Window end (inclusive; must not precede ``t_start``).
+            k: How many POIs to return.
+            pois: Optional query subset P; defaults to the full universe.
+            method: ``"join"`` (Algorithm 5, default) or ``"iterative"``
+                (Algorithm 4) — identical rankings either way.
+            use_segment_mbrs: Keep the Section 4.3.2 improvement (tight
+                per-episode MBRs) on; set ``False`` to ablate it.
+
+        Returns:
+            The ranked :class:`~repro.core.queries.TopKResult`.
+
+        Raises:
+            ValueError: If ``method`` is unknown, ``k < 1``, the window
+                is inverted, or an empty ``pois`` sequence is passed.
+        """
+        if method not in _METHODS:
+            raise ValueError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
             )
-        if method == "iterative":
+        query_pois, poi_tree = self._query_pois(pois)
+        with span(f"query.interval.{method}"):
+            if method == "join":
+                return join_interval(
+                    self.artree,
+                    poi_tree,
+                    query_pois,
+                    self.ctx,
+                    t_start,
+                    t_end,
+                    k,
+                    use_segment_mbrs=use_segment_mbrs,
+                )
             return iterative_interval(
                 self.artree, poi_tree, query_pois, self.ctx, t_start, t_end, k
             )
-        raise ValueError(f"unknown method {method!r}; expected one of {_METHODS}")
 
     # ------------------------------------------------------------------
     # Flow maps (full Φ for analysis / validation)
@@ -388,14 +496,31 @@ class FlowEngine:
     def snapshot_flows(
         self, t: float, pois: Sequence[Poi] | None = None
     ) -> dict[str, float]:
-        """``Φ_t(p)`` for every query POI with non-zero flow."""
+        """``Φ_t(p)`` for every query POI with non-zero flow.
+
+        Args:
+            t: The query instant.
+            pois: Optional query subset; defaults to the full universe.
+
+        Returns:
+            ``{poi_id: flow}`` containing only POIs with positive flow.
+        """
         _, poi_tree = self._query_pois(pois)
         return snapshot_flows(self.artree, poi_tree, self.ctx, t)
 
     def interval_flows(
         self, t_start: float, t_end: float, pois: Sequence[Poi] | None = None
     ) -> dict[str, float]:
-        """``Φ_[t_s, t_e](p)`` for every query POI with non-zero flow."""
+        """``Φ_[t_s, t_e](p)`` for every query POI with non-zero flow.
+
+        Args:
+            t_start: Window start (inclusive).
+            t_end: Window end (inclusive).
+            pois: Optional query subset; defaults to the full universe.
+
+        Returns:
+            ``{poi_id: flow}`` containing only POIs with positive flow.
+        """
         _, poi_tree = self._query_pois(pois)
         return interval_flows(self.artree, poi_tree, self.ctx, t_start, t_end)
 
@@ -411,6 +536,17 @@ class FlowEngine:
         Density ranking needs every POI's exact flow, so it always uses the
         iterative flow computation; the returned entries carry densities in
         their ``flow`` field.
+
+        Args:
+            t: The query instant.
+            k: How many POIs to return.
+            pois: Optional query subset; defaults to the full universe.
+
+        Returns:
+            The ranked result; each entry's ``flow`` is flow per m².
+
+        Raises:
+            ValueError: If ``k < 1`` or an empty ``pois`` is passed.
         """
         query_pois, _ = self._query_pois(pois)
         flows = self.snapshot_flows(t, pois=query_pois)
@@ -423,7 +559,20 @@ class FlowEngine:
         k: int,
         pois: Sequence[Poi] | None = None,
     ) -> TopKResult:
-        """The k POIs with the highest interval flow density (flow/m²)."""
+        """The k POIs with the highest interval flow density (flow/m²).
+
+        Args:
+            t_start: Window start (inclusive).
+            t_end: Window end (inclusive).
+            k: How many POIs to return.
+            pois: Optional query subset; defaults to the full universe.
+
+        Returns:
+            The ranked result; each entry's ``flow`` is flow per m².
+
+        Raises:
+            ValueError: If ``k < 1`` or an empty ``pois`` is passed.
+        """
         query_pois, _ = self._query_pois(pois)
         flows = self.interval_flows(t_start, t_end, pois=query_pois)
         return rank_top_k_by_density(flows, query_pois, k)
@@ -437,6 +586,15 @@ class FlowEngine:
 
         Resolved through the AR-tree's per-object entry lookup, so the cost
         is O(records of the object), independent of the population size.
+
+        Args:
+            object_id: The tracked object.
+            t: The query instant.
+
+        Returns:
+            The (possibly topology-checked) uncertainty region, or
+            ``None`` when no detection episode makes the object
+            trackable at ``t``.
         """
         for entry in self.artree.entries_for(object_id):
             if entry.covers(t):
@@ -450,6 +608,19 @@ class FlowEngine:
 
         Like :meth:`snapshot_region_of`, resolved per object rather than by
         scanning every object relevant to the window.
+
+        Args:
+            object_id: The tracked object.
+            t_start: Window start (inclusive).
+            t_end: Window end (inclusive).
+
+        Returns:
+            The object's :class:`IntervalUncertainty` (episodes, region,
+            MBRs), or ``None`` when none of its records overlap the
+            window.
+
+        Raises:
+            ValueError: If ``t_end`` precedes ``t_start``.
         """
         if t_end < t_start:
             raise ValueError("t_end precedes t_start")

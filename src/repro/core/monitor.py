@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Iterable, Sequence
 
 from ..indoor.poi import Poi
+from ..obs import counter, obs_enabled, span
 from ..tracking.records import TrackingRecord
 from .engine import FlowEngine
 from .queries import TopKResult
@@ -47,6 +48,7 @@ class TopKUpdate:
 
     @property
     def changed(self) -> bool:
+        """Whether this tick's top-k differs from the previous tick's."""
         return bool(self.entered or self.exited or self.rank_changes)
 
 
@@ -75,12 +77,24 @@ class _BaseMonitor:
 
         Time must not run backwards; re-evaluating the same instant is
         allowed (and reports no changes unless the data changed).
+
+        Args:
+            t: The tick's evaluation time.
+
+        Returns:
+            The fresh result plus which POIs entered/exited the top-k and
+            how ranks moved.  The very first tick reports every POI as
+            "entered".
+
+        Raises:
+            ValueError: If ``t`` precedes the previous tick's time.
         """
         if self._last_t is not None and t < self._last_t:
             raise ValueError(
                 f"monitor time went backwards: {t} < {self._last_t}"
             )
-        result = self._evaluate(t)
+        with span("monitor.tick"):
+            result = self._evaluate(t)
         new_ranks = {
             entry.poi.poi_id: rank
             for rank, entry in enumerate(result.entries, start=1)
@@ -100,19 +114,34 @@ class _BaseMonitor:
         # downstream consumers initialise their dashboards from it.
         self._last_t = t
         self._last_ranks = new_ranks
-        return TopKUpdate(
+        update = TopKUpdate(
             t=t,
             result=result,
             entered=entered,
             exited=exited,
             rank_changes=rank_changes,
         )
+        if obs_enabled():
+            counter("monitor.ticks", unit="ticks").inc()
+            if update.changed:
+                counter("monitor.changed_ticks", unit="ticks").inc()
+        return update
 
     def ingest(self, records: Iterable[TrackingRecord]) -> int:
-        """Feed newly arrived records to the (live) engine; returns the count.
+        """Feed newly arrived records to the (live) engine.
 
         The next :meth:`advance` — even at an unchanged ``t`` — reports the
         flow changes the new records cause.
+
+        Args:
+            records: Closed tracking records, per-object chronological.
+
+        Returns:
+            The number of records ingested.
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch.
+            ValueError: If a record fails at-append validation.
         """
         return self.engine.ingest(records)
 
@@ -123,6 +152,18 @@ class _BaseMonitor:
 
         With no arrivals this is a plain :meth:`advance`, so the method
         also works on a frozen-batch engine.
+
+        Args:
+            t: The tick's evaluation time.
+            records: Records that arrived since the last tick (optional).
+
+        Returns:
+            The tick's :class:`TopKUpdate`.
+
+        Raises:
+            RuntimeError: If records are passed to a frozen-batch engine.
+            ValueError: If ``t`` runs backwards or a record fails
+                validation.
         """
         arrived = list(records)
         if arrived:
@@ -130,11 +171,25 @@ class _BaseMonitor:
         return self.advance(t)
 
     def run(self, times: Sequence[float]) -> list[TopKUpdate]:
-        """Advance through ``times`` and collect all updates."""
+        """Advance through ``times`` and collect all updates.
+
+        Args:
+            times: Tick times, non-decreasing.
+
+        Returns:
+            One :class:`TopKUpdate` per tick, in order.
+
+        Raises:
+            ValueError: If the times run backwards.
+        """
         return [self.advance(t) for t in times]
 
     def stats(self) -> dict[str, int]:
-        """The engine's evaluation counters (cache hits, regions built)."""
+        """The engine's evaluation counters (cache hits, regions built).
+
+        Returns:
+            The :meth:`FlowEngine.stats` dict of the monitored engine.
+        """
         return self.engine.stats()
 
 

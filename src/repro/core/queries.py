@@ -25,12 +25,21 @@ __all__ = [
     "RankedPoi",
     "TopKResult",
     "rank_top_k",
+    "rank_top_k_by_density",
 ]
 
 
 @dataclass(frozen=True, slots=True)
 class SnapshotTopKQuery:
-    """Parameters of Problem 1."""
+    """Parameters of Problem 1 (snapshot top-k).
+
+    Attributes:
+        t: The query instant, on the tracking records' clock.
+        k: Result size; must be positive (enforced at construction).
+
+    Raises:
+        ValueError: If ``k < 1``.
+    """
 
     t: float
     k: int
@@ -42,7 +51,16 @@ class SnapshotTopKQuery:
 
 @dataclass(frozen=True, slots=True)
 class IntervalTopKQuery:
-    """Parameters of Problem 2."""
+    """Parameters of Problem 2 (interval top-k).
+
+    Attributes:
+        t_start: Window start (inclusive).
+        t_end: Window end (inclusive; may equal ``t_start``).
+        k: Result size; must be positive.
+
+    Raises:
+        ValueError: If ``k < 1`` or the window is inverted.
+    """
 
     t_start: float
     t_end: float
@@ -57,7 +75,13 @@ class IntervalTopKQuery:
 
 @dataclass(frozen=True, slots=True)
 class RankedPoi:
-    """One result row: a POI and its flow value."""
+    """One result row: a POI and its flow value.
+
+    Attributes:
+        poi: The ranked point of interest.
+        flow: Its exact flow — or flow *density* (per m²) when produced
+            by a density ranking.
+    """
 
     poi: Poi
     flow: float
@@ -65,7 +89,15 @@ class RankedPoi:
 
 @dataclass(frozen=True, slots=True)
 class TopKResult:
-    """The ranked top-k POIs, highest flow first."""
+    """The ranked top-k POIs, highest flow first.
+
+    Supports ``len``, iteration and indexing/slicing over its entries;
+    the :attr:`pois`, :attr:`poi_ids` and :attr:`flows` properties give
+    column views for comparisons and assertions.
+
+    Attributes:
+        entries: The ranked rows, ties broken by POI id.
+    """
 
     entries: tuple[RankedPoi, ...]
 
@@ -86,14 +118,17 @@ class TopKResult:
 
     @property
     def pois(self) -> list[Poi]:
+        """The ranked POIs, best first."""
         return [entry.poi for entry in self.entries]
 
     @property
     def poi_ids(self) -> list[str]:
+        """The ranked POI ids, best first."""
         return [entry.poi.poi_id for entry in self.entries]
 
     @property
     def flows(self) -> list[float]:
+        """The flow values, aligned with :attr:`poi_ids`."""
         return [entry.flow for entry in self.entries]
 
 
@@ -105,6 +140,18 @@ def rank_top_k(
     POIs absent from ``flows`` count as zero flow, so the result always has
     ``min(k, len(pois))`` entries, as the problem definitions require a
     k-subset of ``P``.
+
+    Args:
+        flows: ``{poi_id: flow}`` (typically from the iterative
+            algorithms; POIs may be missing).
+        pois: The query POI universe P.
+        k: Result size.
+
+    Returns:
+        The ranked :class:`TopKResult`.
+
+    Raises:
+        ValueError: If ``k < 1``.
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -129,6 +176,18 @@ def rank_top_k_by_density(
     Plain flow favours large POIs (more area to intersect uncertainty
     regions); density surfaces small-but-crowded spots instead.  The
     ``flow`` field of each returned entry carries the density value.
+
+    Args:
+        flows: ``{poi_id: flow}`` with *exact* flows (density ranking is
+            meaningless over upper bounds).
+        pois: The query POI universe P.
+        k: Result size.
+
+    Returns:
+        The ranked result; zero-area POIs rank as zero density.
+
+    Raises:
+        ValueError: If ``k < 1``.
     """
     if k < 1:
         raise ValueError("k must be positive")

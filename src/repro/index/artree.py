@@ -41,6 +41,8 @@ from bisect import bisect_right, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Protocol
 
+from ..obs import counter, obs_enabled, span
+
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle
     # through repro.tracking, whose detection model uses the indoor package,
     # which indexes rooms with this package's R-tree)
@@ -86,6 +88,7 @@ class ARLeafEntry:
 
     @property
     def object_id(self) -> ObjectId:
+        """The tracked object this entry belongs to."""
         return self.record.object_id
 
     def covers(self, t: float) -> bool:
@@ -175,6 +178,17 @@ class ARTree:
 
         A live table's open episodes land in the delta buffer (so they can
         still be patched); everything closed is bulk-loaded statically.
+
+        Args:
+            ott: The queryable tracking table to index.
+            fanout: Node capacity of the bulk-loaded tree.
+            delta_threshold: Closed-delta size triggering auto-compaction.
+
+        Returns:
+            The packed index.
+
+        Raises:
+            ValueError: If ``fanout < 2`` or ``delta_threshold < 1``.
         """
         tree = cls(fanout=fanout, delta_threshold=delta_threshold)
         open_ids = ott.open_object_ids
@@ -291,7 +305,21 @@ class ARTree:
         pinned in the delta for :meth:`patch_tail`.
 
         Automatically compacts once the closed part of the delta exceeds
-        ``delta_threshold``.  Returns the new entry.
+        ``delta_threshold``.
+
+        Args:
+            record: The object's next tracking record.
+            predecessor: The object's current last record (``None`` for
+                its first).
+            open: Mark the entry as a still-advancing episode.
+
+        Returns:
+            The new leaf entry.
+
+        Raises:
+            ValueError: If the object has an unpatched open episode, the
+                predecessor does not match the indexed tail, or the
+                record overlaps its predecessor.
         """
         object_id = record.object_id
         if object_id in self._open_objects:
@@ -330,10 +358,18 @@ class ARTree:
     ) -> ARLeafEntry:
         """Replace an open episode's leaf entry as its ``t_e`` advances.
 
-        ``record`` is the episode's updated tracking record (same
-        ``record_id``, greater-or-equal ``t_e``); ``open=False`` closes the
-        episode, unpinning the entry from the delta.  Returns the patched
-        entry.
+        Args:
+            record: The episode's updated tracking record (same
+                ``record_id``, greater-or-equal ``t_e``).
+            open: ``False`` closes the episode, unpinning its entry from
+                the delta.
+
+        Returns:
+            The patched leaf entry.
+
+        Raises:
+            ValueError: If the object has no open episode, the record is
+                not its open tail, or ``t_e`` moved backwards.
         """
         object_id = record.object_id
         if object_id not in self._open_objects:
@@ -368,25 +404,28 @@ class ARTree:
         Open-episode entries stay in the delta — they are still mutable,
         and the static tree is immutable by construction.
         """
-        open_tails = {
-            object_id: self._delta_by_object[object_id][-1]
-            for object_id in self._open_objects
-            if object_id in self._delta_by_object
-        }
-        pinned = {id(entry) for entry in open_tails.values()}
-        merged = [
-            entry for group in self._by_object.values() for entry in group
-        ]
-        merged.extend(
-            entry for entry in self._delta if id(entry) not in pinned
-        )
-        self._delta = []
-        self._delta_by_object = {}
-        self._bulk_load(merged)
-        for entry in open_tails.values():
-            self._delta_insert(entry)
-        self._size = len(merged) + len(self._delta)
-        self.compactions += 1
+        with span("artree.compact"):
+            open_tails = {
+                object_id: self._delta_by_object[object_id][-1]
+                for object_id in self._open_objects
+                if object_id in self._delta_by_object
+            }
+            pinned = {id(entry) for entry in open_tails.values()}
+            merged = [
+                entry for group in self._by_object.values() for entry in group
+            ]
+            merged.extend(
+                entry for entry in self._delta if id(entry) not in pinned
+            )
+            self._delta = []
+            self._delta_by_object = {}
+            self._bulk_load(merged)
+            for entry in open_tails.values():
+                self._delta_insert(entry)
+            self._size = len(merged) + len(self._delta)
+            self.compactions += 1
+        if obs_enabled():
+            counter("artree.compactions", unit="compactions").inc()
 
     # ------------------------------------------------------------------
     # Per-object access
@@ -414,21 +453,43 @@ class ARTree:
     def point_query(self, t: float) -> list[ARLeafEntry]:
         """All leaf entries whose augmented interval covers ``t``.
 
-        There is at most one such entry per object.  Results are in
-        ``(t1, t2, record_id)`` order.
+        There is at most one such entry per object.
+
+        Args:
+            t: The query time point.
+
+        Returns:
+            Matching entries in ``(t1, t2, record_id)`` order.
         """
+        self._count_probe()
         results = [entry for entry in self._candidates(t, t) if entry.covers(t)]
         results.sort(key=_entry_key)
         return results
 
+    def _count_probe(self) -> None:
+        """Mirror one index query into the observability counters."""
+        if obs_enabled():
+            counter("artree.queries", unit="queries").inc()
+            if self._delta:
+                counter("artree.delta_probes", unit="probes").inc()
+
     def range_query(self, t_start: float, t_end: float) -> list[ARLeafEntry]:
         """All leaf entries overlapping the closed window ``[t_start, t_end]``.
 
-        Entries are returned in ``(t1, t2, record_id)`` order; callers
-        group them by object to reconstruct record chains.
+        Args:
+            t_start: Window start (inclusive).
+            t_end: Window end (inclusive).
+
+        Returns:
+            Matching entries in ``(t1, t2, record_id)`` order; callers
+            group them by object to reconstruct record chains.
+
+        Raises:
+            ValueError: If ``t_end`` precedes ``t_start``.
         """
         if t_end < t_start:
             raise ValueError("t_end precedes t_start")
+        self._count_probe()
         results = [
             entry
             for entry in self._candidates(t_start, t_end)

@@ -1,0 +1,370 @@
+"""The metrics registry: counters, gauges and fixed-bucket histograms.
+
+Where spans answer *"where did the time go?"*, metrics answer *"how often
+did X happen?"* — delta probes in the AR-tree, monitor ticks, cache hits
+mirrored from :class:`~repro.core.context.EvaluationStats`.  A process-wide
+:data:`REGISTRY` holds every metric by name; the module-level helpers
+(:func:`counter`, :func:`gauge`, :func:`histogram`) get-or-create on it.
+
+Determinism is a design requirement (baselines are diffed):
+
+* histogram bucket boundaries are **fixed at creation** and part of the
+  metric's identity — two runs of the same workload produce bucket counts
+  that compare equal, never "adaptive" bins that drift;
+* :meth:`MetricsRegistry.export` orders metrics by name, so serialized
+  output is byte-stable for identical runs.
+
+Like spans, metrics observe and never influence: no engine code path may
+branch on a metric value.  Instrumentation sites guard their increments
+with :func:`repro.obs.obs_enabled`, so the disabled mode costs one flag
+read per site.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterator, Union
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Default histogram boundaries for durations in seconds: 100 µs … 10 s,
+#: roughly one bucket per 2.5x step.  Fixed so exported bucket counts are
+#: comparable across runs and machines.
+DEFAULT_TIME_BUCKETS: tuple[float, ...] = (
+    0.0001,
+    0.00025,
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, records, probes).
+
+    Attributes:
+        name: Registry-unique metric name (dotted lower-case).
+        unit: What one increment means (``"records"``, ``"probes"`` …).
+    """
+
+    __slots__ = ("name", "unit", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, unit: str = "count") -> None:
+        self.name = name
+        self.unit = unit
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The accumulated total since creation or the last reset."""
+        return self._value
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` to the counter.
+
+        Args:
+            amount: Non-negative increment (default 1).
+
+        Raises:
+            ValueError: If ``amount`` is negative — counters only grow;
+                use a :class:`Gauge` for values that move both ways.
+        """
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (registration and unit are kept)."""
+        self._value = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping of the metric's state."""
+        return {"kind": self.kind, "unit": self.unit, "value": self._value}
+
+
+class Gauge:
+    """A point-in-time value (cache occupancy, delta size).
+
+    Attributes:
+        name: Registry-unique metric name.
+        unit: The value's unit (``"entries"``, ``"bytes"`` …).
+    """
+
+    __slots__ = ("name", "unit", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self._value = 0.0
+
+    @property
+    def value(self) -> float:
+        """The last value set (0 until first :meth:`set`)."""
+        return self._value
+
+    def set(self, value: float) -> None:
+        """Record the current value.
+
+        Args:
+            value: The new reading; any finite float.
+        """
+        self._value = float(value)
+
+    def reset(self) -> None:
+        """Return the gauge to 0."""
+        self._value = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping of the metric's state."""
+        return {"kind": self.kind, "unit": self.unit, "value": self._value}
+
+
+class Histogram:
+    """A distribution over fixed, immutable bucket boundaries.
+
+    An observation ``v`` lands in the first bucket whose boundary is
+    ``>= v``; values above the last boundary land in the implicit
+    overflow bucket, so ``len(counts) == len(boundaries) + 1``.
+
+    Attributes:
+        name: Registry-unique metric name.
+        unit: Unit of observed values (``"seconds"`` by default).
+        boundaries: The inclusive upper bounds, strictly increasing.
+    """
+
+    __slots__ = ("name", "unit", "boundaries", "_counts", "_sum", "_count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "seconds",
+        boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        if not boundaries:
+            raise ValueError(f"histogram {name!r} needs at least one boundary")
+        if any(b >= a for b, a in zip(boundaries, boundaries[1:])):
+            raise ValueError(
+                f"histogram {name!r} boundaries must be strictly increasing"
+            )
+        self.name = name
+        self.unit = unit
+        self.boundaries = tuple(float(b) for b in boundaries)
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    @property
+    def count(self) -> int:
+        """How many values were observed."""
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        """The sum of all observed values."""
+        return self._sum
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Per-bucket observation counts (last entry is the overflow)."""
+        return tuple(self._counts)
+
+    def observe(self, value: float) -> None:
+        """Record one value.
+
+        Args:
+            value: The observation, in the histogram's unit.
+        """
+        # bisect_left makes boundaries inclusive upper bounds: a value
+        # equal to boundary i lands in bucket i, anything above the last
+        # boundary in the overflow bucket.
+        self._counts[bisect_left(self.boundaries, value)] += 1
+        self._sum += value
+        self._count += 1
+
+    def reset(self) -> None:
+        """Zero counts and sum (boundaries are immutable identity)."""
+        self._counts = [0] * (len(self.boundaries) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def as_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping of the metric's state."""
+        return {
+            "kind": self.kind,
+            "unit": self.unit,
+            "boundaries": list(self.boundaries),
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """A name-keyed collection of metrics with deterministic export.
+
+    The process-wide instance is :data:`REGISTRY`; tests create their own.
+    Metric accessors are get-or-create: the first call fixes the metric's
+    kind (and a histogram's boundaries); later calls must agree.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Metric] = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        """Metrics in name order (deterministic)."""
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def _get_or_create(self, name: str, factory: "type[Any]", **kwargs: Any) -> Any:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory(name, **kwargs)
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, factory):
+            raise TypeError(
+                f"metric {name!r} is a {metric.kind}, not a {factory.kind}"  # type: ignore[attr-defined]
+            )
+        return metric
+
+    def counter(self, name: str, unit: str = "count") -> Counter:
+        """Get or create the counter ``name``.
+
+        Args:
+            name: Metric name (dotted lower-case).
+            unit: Unit recorded on first creation.
+
+        Returns:
+            The (shared) counter instance.
+
+        Raises:
+            TypeError: If ``name`` already names a gauge or histogram.
+        """
+        return self._get_or_create(name, Counter, unit=unit)
+
+    def gauge(self, name: str, unit: str = "") -> Gauge:
+        """Get or create the gauge ``name``.
+
+        Args:
+            name: Metric name.
+            unit: Unit recorded on first creation.
+
+        Returns:
+            The (shared) gauge instance.
+
+        Raises:
+            TypeError: If ``name`` already names another metric kind.
+        """
+        return self._get_or_create(name, Gauge, unit=unit)
+
+    def histogram(
+        self,
+        name: str,
+        unit: str = "seconds",
+        boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        Args:
+            name: Metric name.
+            unit: Unit of observations.
+            boundaries: Inclusive upper bucket bounds, strictly
+                increasing; fixed at creation.
+
+        Returns:
+            The (shared) histogram instance.
+
+        Raises:
+            TypeError: If ``name`` already names another metric kind.
+            ValueError: If the metric exists with different boundaries —
+                bucket identity is part of determinism.
+        """
+        metric = self._get_or_create(
+            name, Histogram, unit=unit, boundaries=boundaries
+        )
+        if metric.boundaries != tuple(float(b) for b in boundaries):
+            raise ValueError(
+                f"histogram {name!r} already registered with boundaries "
+                f"{metric.boundaries!r}"
+            )
+        return metric
+
+    def get(self, name: str) -> Metric | None:
+        """The metric registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def reset(self) -> None:
+        """Zero every metric's state; registrations and units are kept."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def clear(self) -> None:
+        """Drop all registrations (a from-scratch registry)."""
+        self._metrics.clear()
+
+    def export(self) -> dict[str, dict[str, Any]]:
+        """All metrics as a name-sorted, JSON-ready mapping.
+
+        Returns:
+            ``{name: {"kind": ..., "unit": ..., ...}}`` with keys in
+            sorted order — identical runs export identical mappings.
+        """
+        return {
+            name: self._metrics[name].as_dict()
+            for name in sorted(self._metrics)
+        }
+
+
+#: The process-wide registry all instrumentation sites report to.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, unit: str = "count") -> Counter:
+    """``REGISTRY.counter(...)`` — the call-site shorthand."""
+    return REGISTRY.counter(name, unit=unit)
+
+
+def gauge(name: str, unit: str = "") -> Gauge:
+    """``REGISTRY.gauge(...)`` — the call-site shorthand."""
+    return REGISTRY.gauge(name, unit=unit)
+
+
+def histogram(
+    name: str,
+    unit: str = "seconds",
+    boundaries: tuple[float, ...] = DEFAULT_TIME_BUCKETS,
+) -> Histogram:
+    """``REGISTRY.histogram(...)`` — the call-site shorthand."""
+    return REGISTRY.histogram(name, unit=unit, boundaries=boundaries)

@@ -52,6 +52,7 @@ class TrackingRecord:
 
     @property
     def duration(self) -> float:
+        """The episode's length in seconds (``t_e - t_s``)."""
         return self.t_e - self.t_s
 
     def covers(self, t: float) -> bool:

@@ -76,10 +76,12 @@ class _TrackingReads:
 
     @property
     def object_ids(self) -> list[ObjectId]:
+        """All object ids with at least one record (copy)."""
         return list(self._by_object.keys())
 
     @property
     def object_count(self) -> int:
+        """How many distinct objects the table tracks."""
         return len(self._by_object)
 
     @property
@@ -194,14 +196,30 @@ class ObjectTrackingTable(_TrackingReads):
     # ------------------------------------------------------------------
 
     def append(self, record: TrackingRecord) -> None:
-        """Add a record (records may arrive in any global order)."""
+        """Add a record (records may arrive in any global order).
+
+        Args:
+            record: The closed tracking record to store.
+
+        Raises:
+            RuntimeError: If the table was already frozen.
+        """
         if self._frozen:
             raise RuntimeError("cannot append to a frozen OTT")
         self._records.append(record)
         self._by_object.setdefault(record.object_id, []).append(record)
 
     def freeze(self) -> "ObjectTrackingTable":
-        """Sort per-object sequences, validate them and lock the table."""
+        """Sort per-object sequences, validate them and lock the table.
+
+        Idempotent: freezing a frozen table is a no-op.
+
+        Returns:
+            ``self``, now immutable and query-ready.
+
+        Raises:
+            ValueError: If any object's records overlap in time.
+        """
         if self._frozen:
             return self
         for object_id, sequence in self._by_object.items():
@@ -288,6 +306,15 @@ class LiveTrackingTable(_TrackingReads):
         ``open=True`` leaves the episode advancing (see the class
         docstring).  Appending to an object with an open episode is
         rejected — close it first, the stream is ambiguous otherwise.
+
+        Args:
+            record: The record to append; its ``t_s`` must not precede
+                the object's current tail ``t_e``.
+            open: Keep the episode advancing (``t_e`` patchable).
+
+        Raises:
+            ValueError: If the object has an open episode, or the record
+                overlaps / precedes the object's tail record.
         """
         object_id = record.object_id
         if object_id in self._open:
@@ -309,8 +336,16 @@ class LiveTrackingTable(_TrackingReads):
     def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
         """Advance the open episode's ``t_e`` (must not move backwards).
 
-        Returns the updated record (a fresh immutable instance with the
-        same ``record_id``).
+        Args:
+            object_id: The object whose episode is open.
+            t_e: The new end time.
+
+        Returns:
+            The updated record (a fresh immutable instance with the same
+            ``record_id``).
+
+        Raises:
+            ValueError: If no episode is open or ``t_e`` retreats.
         """
         return self._advance_open(object_id, t_e, close=False)
 
@@ -319,8 +354,15 @@ class LiveTrackingTable(_TrackingReads):
     ) -> TrackingRecord:
         """Fix the open episode's end time and make it a normal record.
 
-        ``t_e=None`` closes at the episode's current extent.  Returns the
-        final record.
+        Args:
+            object_id: The object whose episode is open.
+            t_e: Final end time; ``None`` closes at the current extent.
+
+        Returns:
+            The final, closed record.
+
+        Raises:
+            ValueError: If no episode is open or ``t_e`` retreats.
         """
         return self._advance_open(object_id, t_e, close=True)
 

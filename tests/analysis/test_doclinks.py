@@ -1,0 +1,83 @@
+"""The markdown intra-repo link checker (repro.analysis.doclinks)."""
+
+from pathlib import Path
+
+from repro.analysis import doclinks
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _write(path: Path, text: str) -> Path:
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestCheckFile:
+    def test_resolving_link_is_clean(self, tmp_path: Path) -> None:
+        _write(tmp_path / "target.md", "# target\n")
+        doc = _write(tmp_path / "doc.md", "see [target](target.md)\n")
+        assert doclinks.check_file(doc) == []
+
+    def test_broken_link_is_reported_with_line(self, tmp_path: Path) -> None:
+        doc = _write(tmp_path / "doc.md", "ok\nsee [gone](missing.md)\n")
+        findings = doclinks.check_file(doc)
+        assert len(findings) == 1
+        assert findings[0].line == 2
+        assert findings[0].target == "missing.md"
+        assert "missing.md" in str(findings[0])
+
+    def test_anchor_suffix_is_stripped(self, tmp_path: Path) -> None:
+        _write(tmp_path / "target.md", "# target\n")
+        doc = _write(tmp_path / "doc.md", "[t](target.md#some-section)\n")
+        assert doclinks.check_file(doc) == []
+
+    def test_subdirectory_resolution(self, tmp_path: Path) -> None:
+        (tmp_path / "docs").mkdir()
+        _write(tmp_path / "README.md", "# readme\n")
+        doc = _write(tmp_path / "docs" / "doc.md", "[up](../README.md)\n")
+        assert doclinks.check_file(doc) == []
+
+    def test_external_and_pure_anchor_links_skipped(
+        self, tmp_path: Path
+    ) -> None:
+        doc = _write(
+            tmp_path / "doc.md",
+            "[a](https://example.com/x.md) [b](#section) "
+            "[c](mailto:x@y.z) [d](/absolute/path.md)\n",
+        )
+        assert doclinks.check_file(doc) == []
+
+    def test_fenced_code_blocks_skipped(self, tmp_path: Path) -> None:
+        doc = _write(
+            tmp_path / "doc.md",
+            "```\n[example](not-a-real-file.md)\n```\n",
+        )
+        assert doclinks.check_file(doc) == []
+
+    def test_inline_code_spans_skipped(self, tmp_path: Path) -> None:
+        # The ``Φ_[t_s, t_e](p)`` idiom in generated docs must not parse
+        # as a link with target ``p``.
+        doc = _write(
+            tmp_path / "doc.md",
+            "- `flows(...)` — ``F_[t_s, t_e](p)`` for every POI\n",
+        )
+        assert doclinks.check_file(doc) == []
+
+
+class TestMain:
+    def test_clean_tree_exits_zero(self, tmp_path: Path, capsys) -> None:
+        _write(tmp_path / "a.md", "# a\n")
+        _write(tmp_path / "b.md", "[a](a.md)\n")
+        assert doclinks.main([str(tmp_path)]) == 0
+        assert "0 broken link(s)" in capsys.readouterr().out
+
+    def test_broken_tree_exits_one(self, tmp_path: Path, capsys) -> None:
+        _write(tmp_path / "b.md", "[a](gone.md)\n")
+        assert doclinks.main([str(tmp_path)]) == 1
+        assert "gone.md" in capsys.readouterr().out
+
+    def test_missing_root_exits_two(self, tmp_path: Path) -> None:
+        assert doclinks.main([str(tmp_path / "nope")]) == 2
+
+    def test_repo_docs_are_clean(self) -> None:
+        assert doclinks.main([str(REPO_ROOT)]) == 0

@@ -1,0 +1,59 @@
+"""The standalone bench runner: emits valid schema-versioned baselines."""
+
+import json
+import pathlib
+import sys
+
+from repro.obs.export import OBS_SCHEMA_VERSION, parse_snapshot
+
+BENCHMARKS_DIR = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+def _runner():
+    if str(BENCHMARKS_DIR) not in sys.path:
+        sys.path.insert(0, str(BENCHMARKS_DIR))
+    import runner
+
+    return runner
+
+
+def test_runner_emits_schema_versioned_baselines(tmp_path):
+    runner = _runner()
+    exit_code = runner.main(
+        [
+            "--scale",
+            "0.01",
+            "--repeats",
+            "1",
+            "--out",
+            str(tmp_path),
+            "--only",
+            "query_matrix",
+            "--only",
+            "obs_overhead",
+        ]
+    )
+    assert exit_code == 0
+    files = sorted(tmp_path.glob("BENCH_*.json"))
+    assert [f.name for f in files] == [
+        "BENCH_obs_overhead.json",
+        "BENCH_query_matrix.json",
+    ]
+    for file in files:
+        payload = json.loads(file.read_text())
+        assert payload["schema_version"] == OBS_SCHEMA_VERSION
+        assert payload["machine"]["python"]
+        assert payload["scale"] == 0.01
+        parse_snapshot(json.dumps(payload["observability"]))
+
+    matrix = json.loads((tmp_path / "BENCH_query_matrix.json").read_text())
+    assert set(matrix["results"]) == {
+        "snapshot_iterative_ms",
+        "snapshot_join_ms",
+        "interval_iterative_ms",
+        "interval_join_ms",
+    }
+    assert matrix["observability"]["spans"], "per-phase timings must be embedded"
+
+    overhead = json.loads((tmp_path / "BENCH_obs_overhead.json").read_text())
+    assert overhead["results"]["estimated_disabled_overhead_percent"] < 2.0

@@ -1,0 +1,20 @@
+"""Shared fixture: every obs test starts and ends with a clean,
+disabled process-wide tracer/registry, so tests cannot leak spans or
+metrics into each other (or into the rest of the suite)."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    obs.REGISTRY.clear()
+    try:
+        yield
+    finally:
+        obs.disable()
+        obs.reset()
+        obs.REGISTRY.clear()

@@ -1,0 +1,150 @@
+"""Exporter round-trips and the BENCH_*.json baseline schema."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.export import (
+    OBS_SCHEMA_VERSION,
+    bench_baseline,
+    format_table,
+    parse_snapshot,
+    snapshot_dict,
+    snapshot_json,
+    write_baseline,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracing import Tracer
+
+
+def _populated() -> tuple[Tracer, MetricsRegistry]:
+    tracer = Tracer()
+    registry = MetricsRegistry()
+    obs.enable()  # Tracer.span honours the global flag
+    try:
+        with tracer.span("query"):
+            with tracer.span("phase"):
+                pass
+    finally:
+        obs.disable()
+    registry.counter("hits", unit="hits").inc(5)
+    registry.histogram("lat", boundaries=(0.01, 0.1)).observe(0.05)
+    return tracer, registry
+
+
+def test_snapshot_dict_shape():
+    tracer, registry = _populated()
+    snap = snapshot_dict(tracer, registry)
+    assert snap["schema_version"] == OBS_SCHEMA_VERSION
+    assert [row["path"] for row in snap["spans"]] == [
+        ["query"],
+        ["query", "phase"],
+    ]
+    assert snap["metrics"]["hits"]["value"] == 5.0
+    assert snap["metrics"]["lat"]["counts"] == [0, 1, 0]
+
+
+def test_json_roundtrip():
+    tracer, registry = _populated()
+    text = snapshot_json(tracer, registry)
+    assert parse_snapshot(text) == snapshot_dict(tracer, registry)
+
+
+def test_json_is_byte_stable():
+    """Identical runs serialize to identical bytes (sorted keys, sorted
+    rows) — the property CI artifact diffing relies on."""
+    first = snapshot_json(*_populated())
+    second = snapshot_json(*_populated())
+    # Wall-clock totals differ run to run; zero them out structurally.
+    def normalized(text):
+        payload = json.loads(text)
+        for row in payload["spans"]:
+            for key in ("total_seconds", "min_seconds", "max_seconds"):
+                row[key] = 0.0
+        return json.dumps(payload, sort_keys=True)
+
+    assert normalized(first) == normalized(second)
+
+
+def test_parse_rejects_bad_documents():
+    with pytest.raises(ValueError, match="JSON object"):
+        parse_snapshot("[1, 2]")
+    with pytest.raises(ValueError, match="schema_version"):
+        parse_snapshot(json.dumps({"schema_version": 999}))
+    with pytest.raises(ValueError, match="spans"):
+        parse_snapshot(json.dumps({"schema_version": OBS_SCHEMA_VERSION}))
+
+
+def test_format_table_renders_hierarchy_and_metrics():
+    tracer, registry = _populated()
+    table = format_table(tracer, registry)
+    lines = table.splitlines()
+    query_line = next(line for line in lines if line.startswith("query"))
+    phase_line = next(line for line in lines if line.lstrip().startswith("phase"))
+    assert phase_line.startswith("  ")  # nested spans are indented
+    assert "hits" in table and "histogram" in table
+    assert query_line  # top-level span is flush left
+
+
+def test_format_table_empty_state():
+    table = format_table(Tracer(), MetricsRegistry())
+    assert "(no spans collected)" in table
+    assert "(no metrics recorded)" in table
+
+
+def test_bench_baseline_roundtrip(tmp_path):
+    tracer, registry = _populated()
+    payload = bench_baseline(
+        "unit_test",
+        machine={"platform": "test", "cpu_count": 1},
+        scale=0.01,
+        params={"k": 10},
+        results={"elapsed_ms": 1.5},
+        stats={"regions_computed": 3},
+        tracer=tracer,
+        registry=registry,
+    )
+    path = tmp_path / "BENCH_unit_test.json"
+    write_baseline(str(path), payload)
+    loaded = json.loads(path.read_text())
+    assert loaded == payload
+    assert loaded["schema_version"] == OBS_SCHEMA_VERSION
+    assert loaded["observability"]["spans"][0]["path"] == ["query"]
+    assert path.read_text().endswith("\n")
+
+
+def test_write_baseline_requires_schema_version(tmp_path):
+    with pytest.raises(ValueError, match="schema_version"):
+        write_baseline(str(tmp_path / "x.json"), {"name": "x"})
+
+
+def test_committed_baselines_parse():
+    """The baselines shipped under benchmarks/baselines/ must stay
+    readable by the current schema."""
+    import pathlib
+
+    baseline_dir = (
+        pathlib.Path(__file__).resolve().parents[2] / "benchmarks" / "baselines"
+    )
+    files = sorted(baseline_dir.glob("BENCH_*.json"))
+    assert len(files) >= 3
+    for file in files:
+        payload = json.loads(file.read_text())
+        assert payload["schema_version"] == OBS_SCHEMA_VERSION
+        assert {"name", "machine", "scale", "params", "results", "observability"} <= set(payload)
+        # Per-phase span timings are the point of the baselines.
+        parse_snapshot(json.dumps(payload["observability"]))
+        if payload["name"] != "obs_overhead":
+            assert payload["observability"]["spans"], file.name
+
+
+def test_module_level_snapshot_uses_process_defaults():
+    obs.enable()
+    with obs.span("proc"):
+        pass
+    obs.counter("proc.count").inc()
+    obs.disable()
+    snap = snapshot_dict()
+    assert [row["path"] for row in snap["spans"]] == [["proc"]]
+    assert "proc.count" in snap["metrics"]

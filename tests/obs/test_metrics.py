@@ -1,0 +1,111 @@
+"""Registry semantics: kinds, fixed buckets, deterministic export."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_TIME_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+def test_counter_accumulates_and_rejects_decrease():
+    registry = MetricsRegistry()
+    c = registry.counter("events", unit="events")
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+    assert c.value == 3.5
+
+
+def test_counter_is_get_or_create():
+    registry = MetricsRegistry()
+    registry.counter("hits").inc()
+    registry.counter("hits").inc()
+    assert registry.counter("hits").value == 2.0
+    assert len(registry) == 1
+
+
+def test_gauge_moves_both_ways():
+    registry = MetricsRegistry()
+    g = registry.gauge("occupancy", unit="entries")
+    g.set(10)
+    g.set(4)
+    assert g.value == 4.0
+
+
+def test_kind_mismatch_raises():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TypeError, match="is a counter, not a gauge"):
+        registry.gauge("x")
+
+
+def test_histogram_bucket_boundaries_are_inclusive_upper_bounds():
+    h = Histogram("lat", boundaries=(1.0, 2.0, 4.0))
+    for value in (0.5, 1.0, 1.5, 2.0, 3.0, 4.0, 99.0):
+        h.observe(value)
+    # buckets: <=1.0, <=2.0, <=4.0, overflow
+    assert h.counts == (2, 2, 2, 1)
+    assert h.count == 7
+    assert h.sum == pytest.approx(111.0)
+
+
+def test_histogram_requires_increasing_boundaries():
+    with pytest.raises(ValueError, match="strictly increasing"):
+        Histogram("bad", boundaries=(1.0, 1.0, 2.0))
+    with pytest.raises(ValueError, match="at least one boundary"):
+        Histogram("empty", boundaries=())
+
+
+def test_histogram_boundary_identity_enforced_on_reuse():
+    registry = MetricsRegistry()
+    registry.histogram("lat", boundaries=(1.0, 2.0))
+    with pytest.raises(ValueError, match="already registered"):
+        registry.histogram("lat", boundaries=(1.0, 2.0, 3.0))
+
+
+def test_default_time_buckets_are_fixed_and_increasing():
+    assert all(
+        lo < hi for lo, hi in zip(DEFAULT_TIME_BUCKETS, DEFAULT_TIME_BUCKETS[1:])
+    )
+    assert DEFAULT_TIME_BUCKETS[0] == pytest.approx(0.0001)
+    assert DEFAULT_TIME_BUCKETS[-1] == pytest.approx(10.0)
+
+
+def _run_workload(registry: MetricsRegistry) -> None:
+    registry.counter("a.hits", unit="hits").inc(3)
+    registry.gauge("a.size").set(17)
+    h = registry.histogram("a.lat", boundaries=(0.001, 0.01, 0.1))
+    for value in (0.0005, 0.005, 0.05, 0.5):
+        h.observe(value)
+
+
+def test_export_is_deterministic_across_identical_runs():
+    """Two registries fed the same workload export byte-identical state."""
+    first, second = MetricsRegistry(), MetricsRegistry()
+    _run_workload(first)
+    _run_workload(second)
+    assert first.export() == second.export()
+    assert list(first.export()) == sorted(first.export())
+
+
+def test_reset_keeps_registrations_clear_drops_them():
+    registry = MetricsRegistry()
+    _run_workload(registry)
+    registry.reset()
+    assert registry.counter("a.hits").value == 0.0
+    assert registry.histogram("a.lat", boundaries=(0.001, 0.01, 0.1)).count == 0
+    assert len(registry) == 3
+    registry.clear()
+    assert len(registry) == 0
+
+
+def test_iteration_is_name_ordered():
+    registry = MetricsRegistry()
+    registry.counter("z")
+    registry.counter("a")
+    registry.counter("m")
+    assert [m.name for m in registry] == ["a", "m", "z"]

@@ -1,0 +1,130 @@
+"""Span semantics: nesting paths, timing monotonicity, the no-op default."""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.tracing import NOOP_SPAN, Span, Tracer
+
+
+def test_disabled_by_default_emits_nothing():
+    """The no-op mode: spans collect nothing and cost no tracer state."""
+    assert not obs.obs_enabled()
+    with obs.span("query.snapshot.join"):
+        with obs.span("ur.snapshot"):
+            pass
+    assert obs.TRACER.snapshot() == []
+    assert obs.TRACER.active_depth == 0
+
+
+def test_disabled_span_is_the_shared_singleton():
+    assert obs.span("a") is NOOP_SPAN
+    assert obs.span("b") is NOOP_SPAN
+
+
+def test_enabled_span_records_by_nesting_path():
+    obs.enable()
+    with obs.span("outer"):
+        with obs.span("inner"):
+            pass
+        with obs.span("inner"):
+            pass
+    rows = obs.TRACER.snapshot()
+    assert [row.path for row in rows] == [("outer",), ("outer", "inner")]
+    outer, inner = rows
+    assert outer.count == 1
+    assert inner.count == 2
+    assert inner.depth == 2
+    assert inner.name == "inner"
+
+
+def test_same_leaf_under_different_parents_is_two_rows():
+    """Attribution is per path, not per leaf name."""
+    obs.enable()
+    with obs.span("query.snapshot.join"):
+        with obs.span("ur.build.snapshot"):
+            pass
+    with obs.span("query.interval.join"):
+        with obs.span("ur.build.snapshot"):
+            pass
+    paths = [row.path for row in obs.TRACER.snapshot()]
+    assert ("query.snapshot.join", "ur.build.snapshot") in paths
+    assert ("query.interval.join", "ur.build.snapshot") in paths
+
+
+def test_timing_monotonicity():
+    """Durations are non-negative, min <= max, and a parent's total
+    dominates the sum of its children's totals."""
+    obs.enable()
+    with obs.span("parent"):
+        for _ in range(3):
+            with obs.span("child"):
+                time.sleep(0.001)
+    rows = {row.path: row for row in obs.TRACER.snapshot()}
+    parent = rows[("parent",)]
+    child = rows[("parent", "child")]
+    assert child.count == 3
+    assert 0.0 <= child.min_seconds <= child.max_seconds
+    assert child.total_seconds >= child.min_seconds * child.count
+    assert parent.total_seconds >= child.total_seconds
+
+
+def test_reset_drops_rows_and_keeps_collecting():
+    obs.enable()
+    with obs.span("a"):
+        pass
+    obs.TRACER.reset()
+    assert obs.TRACER.snapshot() == []
+    with obs.span("b"):
+        pass
+    assert [row.path for row in obs.TRACER.snapshot()] == [("b",)]
+
+
+def test_snapshot_returns_copies():
+    obs.enable()
+    with obs.span("a"):
+        pass
+    row = obs.TRACER.snapshot()[0]
+    row.count = 999
+    assert obs.TRACER.snapshot()[0].count == 1
+
+
+def test_exception_inside_span_still_records_and_unwinds():
+    obs.enable()
+    with pytest.raises(RuntimeError, match="boom"):
+        with obs.span("outer"):
+            with obs.span("inner"):
+                raise RuntimeError("boom")
+    assert obs.TRACER.active_depth == 0
+    paths = [row.path for row in obs.TRACER.snapshot()]
+    assert paths == [("outer",), ("outer", "inner")]
+
+
+def test_mismatched_pop_raises():
+    tracer = Tracer()
+    outer = Span(tracer, "outer")
+    inner = Span(tracer, "inner")
+    outer.__enter__()
+    inner.__enter__()
+    with pytest.raises(RuntimeError, match="nesting violated"):
+        outer.__exit__(None, None, None)
+
+
+def test_negative_clock_reading_is_clamped():
+    from repro.obs.tracing import SpanStats
+
+    stats = SpanStats(path=("x",))
+    stats.observe(-1.0)
+    assert stats.total_seconds == 0.0
+    assert stats.min_seconds == 0.0
+
+
+def test_enable_disable_roundtrip():
+    obs.enable()
+    assert obs.obs_enabled()
+    obs.disable()
+    assert not obs.obs_enabled()
+    with obs.span("after.disable"):
+        pass
+    assert obs.TRACER.snapshot() == []
