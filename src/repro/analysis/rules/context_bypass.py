@@ -33,9 +33,21 @@ __all__ = ["ContextBypassRule"]
 #: The low-level builder functions owned by the caching layer.
 _GUARDED = frozenset({"snapshot_region", "interval_uncertainty"})
 
-#: AR-tree mutators owned by the ingest seam (FlowEngine.ingest keeps the
-#: tree, the live table and the context generation in lockstep).
+#: AR-tree mutators owned by the ingest seam (ShardState keeps the tree,
+#: the live table and the context generation in lockstep).
 _GUARDED_MUTATORS = frozenset({"append_record", "patch_tail"})
+
+#: ShardState mutators owned by the coordinator seam: a shard mutated
+#: behind its coordinator's back diverges from the routing partition and
+#: the coordinator's generation counter.
+_GUARDED_SHARD_MUTATORS = frozenset(
+    {
+        "ingest_batch",
+        "ingest_open_episode",
+        "extend_open_episode",
+        "close_open_episode",
+    }
+)
 
 #: Path fragments of the modules allowed to touch the builders directly:
 #: the context itself and the uncertainty package implementing them.
@@ -46,10 +58,20 @@ _BUILDER_ALLOWED = (
 )
 
 #: Path fragments allowed to mutate AR-trees directly: the index module
-#: implementing the mutators and the engine's atomic ingest path.
+#: implementing the mutators and the shard's atomic ingest path.
 _MUTATOR_ALLOWED = (
     ("index", "artree.py"),
+    ("core", "shard.py"),
+    ("repro", "analysis"),
+)
+
+#: Path fragments allowed to call shard mutators directly: the shard
+#: itself, the engine facade (its single shard) and the coordinator
+#: (which routes by the partition hash).
+_SHARD_MUTATOR_ALLOWED = (
+    ("core", "shard.py"),
     ("core", "engine.py"),
+    ("core", "coordinator.py"),
     ("repro", "analysis"),
 )
 
@@ -67,13 +89,16 @@ class ContextBypassRule(Rule):
     name = "context-bypass"
     description = (
         "no direct snapshot_region()/interval_uncertainty() outside the "
-        "EvaluationContext caching layer, and no direct AR-tree "
-        "append_record()/patch_tail() outside the engine ingest path"
+        "EvaluationContext caching layer, no direct AR-tree "
+        "append_record()/patch_tail() outside the shard ingest path, and "
+        "no ShardState mutation outside the coordinator/engine seam"
     )
     paper_ref = (
         "PR 1 cache coherence: memoized UR(o, t) / UR(o, [ts, te]) must be "
         "the only derivation path (Sections 3.1-3.2); PR 3 extends the "
-        "invariant to live appends (Section 4.1 index maintenance)"
+        "invariant to live appends (Section 4.1 index maintenance); the "
+        "sharded coordinator extends it to the object partition "
+        "(Definition 2's per-object flow decomposition)"
     )
 
     def applies_to(self, path: Path) -> bool:
@@ -86,6 +111,7 @@ class ContextBypassRule(Rule):
         source = Path(path)
         check_builders = not _matches(source, _BUILDER_ALLOWED)
         check_mutators = not _matches(source, _MUTATOR_ALLOWED)
+        check_shard_mutators = not _matches(source, _SHARD_MUTATOR_ALLOWED)
         is_reexport_module = source.name == "__init__.py"
         for node in ast.walk(tree):
             if (
@@ -143,6 +169,22 @@ class ContextBypassRule(Rule):
                             f"direct .{func.attr}() mutates the AR-tree "
                             "without bumping the context generation; ingest "
                             "records through FlowEngine.ingest() instead",
+                        )
+                    )
+                elif (
+                    check_shard_mutators
+                    and isinstance(func, ast.Attribute)
+                    and func.attr in _GUARDED_SHARD_MUTATORS
+                ):
+                    diagnostics.append(
+                        self.diagnostic(
+                            path,
+                            node,
+                            f"direct .{func.attr}() mutates a ShardState "
+                            "behind the coordinator's back; route records "
+                            "through ShardedFlowEngine.ingest() (or the "
+                            "engine facade) so partitioning and generation "
+                            "stay coherent",
                         )
                     )
         return diagnostics

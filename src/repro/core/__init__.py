@@ -9,15 +9,25 @@ from .algorithms import (
     join_snapshot,
     snapshot_flows,
 )
-from .caching import LruCache
+from .caching import LruCache, shard_cache_capacity
 from .context import EvaluationContext, EvaluationStats
+from .coordinator import (
+    Executor,
+    ForkedProcessExecutor,
+    SerialExecutor,
+    ShardedFlowEngine,
+    shard_of,
+)
 from .engine import FlowEngine, LiveFlowEngine
 from .monitor import (
+    MonitorableEngine,
     SlidingIntervalTopKMonitor,
     SnapshotTopKMonitor,
     TopKUpdate,
 )
 from .presence import PresenceEstimator
+from .shard import ShardState
+from .stats import merge_component_stats, merge_shard_stats
 from .queries import (
     IntervalTopKQuery,
     RankedPoi,
@@ -51,17 +61,23 @@ __all__ = [
     "Episode",
     "EvaluationContext",
     "EvaluationStats",
+    "Executor",
     "FlowEngine",
+    "ForkedProcessExecutor",
     "IntervalContext",
     "IntervalTopKQuery",
     "IntervalUncertainty",
     "JoinObject",
     "LiveFlowEngine",
     "LruCache",
+    "MonitorableEngine",
     "PathReachabilityConstraint",
     "PresenceEstimator",
     "RankedPoi",
     "ReachabilityConstraint",
+    "SerialExecutor",
+    "ShardState",
+    "ShardedFlowEngine",
     "SlidingIntervalTopKMonitor",
     "SnapshotContext",
     "SnapshotTopKMonitor",
@@ -78,8 +94,12 @@ __all__ = [
     "iterative_snapshot",
     "join_interval",
     "join_snapshot",
+    "merge_component_stats",
+    "merge_shard_stats",
     "rank_top_k",
     "rank_top_k_by_density",
+    "shard_cache_capacity",
+    "shard_of",
     "snapshot_context",
     "snapshot_contexts",
     "snapshot_flows",

@@ -50,7 +50,11 @@ class JoinObject:
     entire point of the join algorithms.  ``segment_mbrs`` carries the
     improved interval join's fine-grained boxes (``None`` for snapshot
     queries or when the improvement is disabled).  ``region_key`` is the
-    region's presence-cache fingerprint, when known.
+    region's presence-cache fingerprint, when known.  ``order_key`` is the
+    object's position in the canonical candidate enumeration (the AR-tree
+    entry order); leaf flows are accumulated in this order so the join sums
+    presences exactly like the iterative baseline — and like the sharded
+    merge — making all three paths bitwise comparable.
     """
 
     __slots__ = (
@@ -58,6 +62,7 @@ class JoinObject:
         "mbr",
         "segment_mbrs",
         "region_key",
+        "order_key",
         "_factory",
         "_region",
     )
@@ -69,11 +74,13 @@ class JoinObject:
         region_factory: Callable[[], Region],
         segment_mbrs: tuple[Mbr, ...] | None = None,
         region_key: Hashable | None = None,
+        order_key: int = 0,
     ):
         self.object_id = object_id
         self.mbr = mbr
         self.segment_mbrs = segment_mbrs
         self.region_key = region_key
+        self.order_key = order_key
         self._factory = region_factory
         self._region: Region | None = None
 
@@ -143,13 +150,25 @@ def _topk_join(
         )
     sequence = count()
     heap: list[
-        tuple[float, int, RTreeEntry, list[RTreeEntry] | None]
+        tuple[float, int, str, int, RTreeEntry, list[RTreeEntry] | None]
     ] = []
 
     def push(
         entry: RTreeEntry, join_list: list[RTreeEntry] | None, priority: float
     ) -> None:
-        heapq.heappush(heap, (-priority, next(sequence), entry, join_list))
+        # Tie-break: at equal priority refine bounds (kind 0) before
+        # confirming exact flows (kind 1), and confirm equal exact flows in
+        # poi_id order.  Both choices make the pop order — hence the
+        # returned ranking — a deterministic function of the flows alone,
+        # matching ``rank_top_k``'s ``(-flow, poi_id)`` order so the
+        # iterative baseline and the sharded merge agree bit for bit.
+        if join_list is None:
+            kind, tie = 1, str(entry.item.poi_id)
+        else:
+            kind, tie = 0, ""
+        heapq.heappush(
+            heap, (-priority, kind, tie, next(sequence), entry, join_list)
+        )
 
     for poi_entry in poi_tree.root.entries:
         join_list, upper_bound = _match_entries(
@@ -181,7 +200,7 @@ def _topk_join(
 
 
 def _drain_heap(
-    heap: list[tuple[float, int, RTreeEntry, list[RTreeEntry] | None]],
+    heap: list[tuple[float, int, str, int, RTreeEntry, list[RTreeEntry] | None]],
     push: Callable[[RTreeEntry, list[RTreeEntry] | None, float], None],
     object_tree: AggregateRTree,
     k: int,
@@ -198,7 +217,7 @@ def _drain_heap(
     instrumented = obs_enabled()
     confirmed: list[RankedPoi] = []
     while heap and len(confirmed) < k:
-        negative_priority, _, poi_entry, join_list = heapq.heappop(heap)
+        negative_priority, _, _, _, poi_entry, join_list = heapq.heappop(heap)
         if instrumented:
             counter("join.heap_pops", unit="pops").inc()
         if join_list is None:
@@ -213,7 +232,13 @@ def _drain_heap(
             if lists_are_leaf:
                 poi: Poi = poi_entry.item
                 flow = 0.0
-                for object_entry in join_list:
+                # Canonical accumulation order (see JoinObject.order_key):
+                # float addition is not associative, so summing in R-tree
+                # traversal order would drift from the iterative baseline
+                # in the last bits.
+                for object_entry in sorted(
+                    join_list, key=lambda e: e.item.order_key
+                ):
                     flow += presence(object_entry.item, poi)
                 if contracts_enabled():
                     # The count bound the queue scheduled this POI under
@@ -277,7 +302,7 @@ def join_snapshot(
     """Algorithm 2: aggregate-R-tree join for the snapshot query."""
     objects: list[JoinObject] = []
     with span("candidates.snapshot"):
-        for context in snapshot_contexts(artree, t):
+        for order, context in enumerate(snapshot_contexts(artree, t)):
             mbr = snapshot_mbr(context, ctx.deployment, ctx.v_max)
             if mbr is None:
                 continue
@@ -289,6 +314,7 @@ def join_snapshot(
                         sctx
                     ),
                     region_key=ctx.snapshot_fingerprint(context),
+                    order_key=order,
                 )
             )
     return _topk_join(
@@ -323,7 +349,7 @@ def join_interval(
     """
     objects: list[JoinObject] = []
     with span("candidates.interval"):
-        for context in interval_contexts(artree, t_start, t_end):
+        for order, context in enumerate(interval_contexts(artree, t_start, t_end)):
             with span("ur.interval"):
                 uncertainty = ctx.interval_uncertainty(context)
             overall_mbr = uncertainty.mbr
@@ -339,6 +365,7 @@ def join_interval(
                     region_factory=lambda u=uncertainty: u.region,
                     segment_mbrs=segments,
                     region_key=ctx.interval_fingerprint(uncertainty),
+                    order_key=order,
                 )
             )
     return _topk_join(

@@ -56,6 +56,7 @@ from ..indoor.devices import Deployment, Device
 from ..obs import counter, obs_enabled, span
 from .caching import LruCache
 from .presence import PresenceEstimator
+from .stats import merge_component_stats
 from .uncertainty.interval import IntervalUncertainty, interval_uncertainty
 from .uncertainty.snapshot import snapshot_region, snapshot_region_key
 
@@ -269,11 +270,14 @@ class EvaluationContext:
             ``region_cache_entries``, ``presence_cache_entries`` and
             ``data_generation``.
         """
-        stats = self.stats.as_dict()
-        stats["region_cache_entries"] = len(self._region_cache)
-        stats["presence_cache_entries"] = len(self._presence_cache)
-        stats["data_generation"] = self.data_generation
-        return stats
+        return merge_component_stats(
+            self.stats.as_dict(),
+            {
+                "region_cache_entries": len(self._region_cache),
+                "presence_cache_entries": len(self._presence_cache),
+                "data_generation": self.data_generation,
+            },
+        )
 
     # ------------------------------------------------------------------
     # Live ingestion (generation-aware cache keys)

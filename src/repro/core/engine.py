@@ -37,9 +37,8 @@ from ..geometry import DEFAULT_RESOLUTION, Region
 from ..index import ARTree, RTree
 from ..index.artree import DEFAULT_DELTA_THRESHOLD
 from ..indoor.devices import Deployment
-from ..indoor.distance import IndoorDistanceOracle
 from ..indoor.floorplan import FloorPlan
-from ..indoor.poi import Poi, build_poi_index
+from ..indoor.poi import Poi
 from ..obs import counter, obs_enabled, span
 from ..tracking.records import ObjectId, TrackingRecord
 from ..tracking.table import LiveTrackingTable, ObjectTrackingTable
@@ -57,16 +56,13 @@ from .context import (
 )
 from .presence import PresenceEstimator
 from .queries import TopKResult, rank_top_k_by_density
-from .caching import LruCache
+from .shard import DEFAULT_POI_SUBSET_CACHE_SIZE, ShardState
 from .states import interval_context_from_entries, snapshot_context
 from .uncertainty import IntervalUncertainty, TopologyChecker
 
-__all__ = ["FlowEngine", "LiveFlowEngine"]
+__all__ = ["FlowEngine", "LiveFlowEngine", "DEFAULT_POI_SUBSET_CACHE_SIZE"]
 
 _METHODS = ("join", "iterative")
-
-#: How many per-subset POI R-trees the engine memoizes (LRU).
-DEFAULT_POI_SUBSET_CACHE_SIZE = 16
 
 
 class FlowEngine:
@@ -124,54 +120,70 @@ class FlowEngine:
         live: bool = False,
         artree_delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
     ):
-        if v_max <= 0:
-            raise ValueError("v_max must be positive")
-        if detection_slack < 0:
-            raise ValueError("detection_slack must be non-negative")
-        if not pois:
-            raise ValueError("the engine needs at least one POI")
-        self.floorplan = floorplan
-        self._live: LiveTrackingTable | None
-        if isinstance(ott, LiveTrackingTable):
-            self._live = ott
-        elif live:
-            # A batch table allows any arrival order; replaying it sorted
-            # satisfies the live table's in-order at-append validation.
-            self._live = LiveTrackingTable(
-                sorted(ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
-            )
-        else:
-            self._live = None
-        self.ott: ObjectTrackingTable | LiveTrackingTable = (
-            self._live if self._live is not None else ott.freeze()
-        )
-        self.pois = list(pois)
-        self.artree = ARTree.build(
-            self.ott,
-            fanout=artree_fanout,
-            delta_threshold=artree_delta_threshold,
-        )
-        self.poi_tree = build_poi_index(self.pois, max_entries=rtree_fanout)
-        self.detection_slack = detection_slack
-        self._subset_trees: LruCache[tuple[list[Poi], RTree]] = LruCache(
-            DEFAULT_POI_SUBSET_CACHE_SIZE
-        )
-        self.poi_subset_trees_built = 0
-        self.ctx = EvaluationContext(
+        # The engine is the degenerate one-shard deployment: all state —
+        # table, indexes, caches, epochs — lives in a single ShardState,
+        # the same facade an N-shard coordinator fans out over.
+        self._shard = ShardState(
+            floorplan=floorplan,
             deployment=deployment,
+            ott=ott,
+            pois=pois,
             v_max=v_max,
-            estimator=PresenceEstimator(resolution=resolution),
-            topology=(
-                TopologyChecker(IndoorDistanceOracle(floorplan))
-                if topology_check
-                else None
-            ),
-            inner_allowance=v_max * detection_slack,
+            resolution=resolution,
+            topology_check=topology_check,
             rtree_fanout=rtree_fanout,
+            artree_fanout=artree_fanout,
+            detection_slack=detection_slack,
             region_cache_size=region_cache_size,
             presence_cache_size=presence_cache_size,
+            live=live,
+            artree_delta_threshold=artree_delta_threshold,
         )
-        self._pois_by_id = {poi.poi_id: poi for poi in self.pois}
+        self.floorplan = floorplan
+        self.detection_slack = detection_slack
+
+    # ------------------------------------------------------------------
+    # Shard-owned state (the engine is its single shard)
+    # ------------------------------------------------------------------
+
+    @property
+    def shard(self) -> ShardState:
+        """The engine's single :class:`ShardState` (owns all state)."""
+        return self._shard
+
+    @property
+    def ott(self) -> ObjectTrackingTable | LiveTrackingTable:
+        """The indexed tracking table (live when the engine is live)."""
+        return self._shard.ott
+
+    @property
+    def pois(self) -> list[Poi]:
+        """The engine's POI universe."""
+        return self._shard.pois
+
+    @property
+    def artree(self) -> ARTree:
+        """The AR-tree over the OTT."""
+        return self._shard.artree
+
+    @property
+    def poi_tree(self) -> RTree:
+        """The POI R-tree ``R_P`` over the full universe."""
+        return self._shard.poi_tree
+
+    @property
+    def ctx(self) -> EvaluationContext:
+        """The long-lived evaluation context (parameters + memo layers)."""
+        return self._shard.ctx
+
+    @property
+    def poi_subset_trees_built(self) -> int:
+        """How many per-subset POI R-trees were actually built."""
+        return self._shard.poi_subset_trees_built
+
+    @property
+    def _live(self) -> LiveTrackingTable | None:
+        return self._shard._live
 
     # ------------------------------------------------------------------
     # Evaluation parameters (delegated to the long-lived context)
@@ -214,20 +226,19 @@ class FlowEngine:
     @property
     def is_live(self) -> bool:
         """Whether the engine accepts new tracking records (see ``live``)."""
-        return self._live is not None
+        return self._shard.is_live
 
     @property
     def generation(self) -> int:
         """The live table's mutation counter (0 for a frozen-batch engine)."""
-        return self._live.generation if self._live is not None else 0
+        return self._shard.generation
 
-    def _require_live(self) -> LiveTrackingTable:
-        if self._live is None:
+    def _require_live(self) -> None:
+        if not self._shard.is_live:
             raise RuntimeError(
                 "this engine is frozen-batch; construct it with live=True "
                 "(or LiveFlowEngine) to ingest records"
             )
-        return self._live
 
     def ingest(self, records: Iterable[TrackingRecord]) -> int:
         """Append closed tracking records to a live engine; returns the count.
@@ -256,15 +267,8 @@ class FlowEngine:
             ValueError: If a record fails the live table's at-append
                 validation; earlier records of the batch stay ingested.
         """
-        live = self._require_live()
-        count = 0
-        with span("ingest.batch"):
-            for record in records:
-                predecessor = live.last_record(record.object_id)
-                live.append(record)
-                self.artree.append_record(record, predecessor)
-                self.ctx.note_append(record.object_id)
-                count += 1
+        self._require_live()
+        count = self._shard.ingest_batch(records)
         if obs_enabled():
             counter("engine.ingest.records", unit="records").inc(count)
         return count
@@ -285,11 +289,8 @@ class FlowEngine:
             ValueError: If the record fails at-append validation or the
                 object already has an open episode.
         """
-        live = self._require_live()
-        predecessor = live.last_record(record.object_id)
-        live.append(record, open=True)
-        self.artree.append_record(record, predecessor, open=True)
-        self.ctx.note_append(record.object_id)
+        self._require_live()
+        self._shard.ingest_open_episode(record)
 
     def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
         """Advance an open episode's end time.
@@ -306,11 +307,8 @@ class FlowEngine:
             ValueError: If the object has no open episode or ``t_e``
                 retreats.
         """
-        live = self._require_live()
-        updated = live.extend_episode(object_id, t_e)
-        self.artree.patch_tail(updated, open=True)
-        self.ctx.note_append(object_id)
-        return updated
+        self._require_live()
+        return self._shard.extend_open_episode(object_id, t_e)
 
     def close_episode(
         self, object_id: ObjectId, t_e: float | None = None
@@ -330,11 +328,8 @@ class FlowEngine:
             ValueError: If the object has no open episode or ``t_e``
                 retreats.
         """
-        live = self._require_live()
-        closed = live.close_episode(object_id, t_e)
-        self.artree.patch_tail(closed, open=False)
-        self.ctx.note_append(object_id)
-        return closed
+        self._require_live()
+        return self._shard.close_open_episode(object_id, t_e)
 
     # ------------------------------------------------------------------
     # Instrumentation
@@ -356,16 +351,11 @@ class FlowEngine:
             ``poi_subset_trees_built``, ``artree_delta_entries``,
             ``artree_compactions``.
         """
-        stats = self.ctx.stats_dict()
-        stats["estimator_cached_pois"] = self.ctx.estimator.sample_cache_size
-        stats["poi_subset_trees_built"] = self.poi_subset_trees_built
-        stats["artree_delta_entries"] = self.artree.delta_size
-        stats["artree_compactions"] = self.artree.compactions
-        return stats
+        return self._shard.stats()
 
     def reset_stats(self) -> None:
         """Zero the evaluation counters (cache contents are kept)."""
-        self.ctx.reset_stats()
+        self._shard.reset_stats()
 
     # ------------------------------------------------------------------
     # POI subsets
@@ -376,26 +366,12 @@ class FlowEngine:
     ) -> tuple[list[Poi], RTree]:
         """Resolve the query POI set P and its R-tree R_P.
 
-        Subset R-trees are memoized per subset identity (the tuple of
-        member POI objects), so a monitor or dashboard re-querying the
+        Subset R-trees are memoized (per ``poi_id`` tuple, verified
+        against the members), so a monitor or dashboard re-querying the
         same subset builds its R_P exactly once.  ``poi_subset_trees_built``
         in :meth:`stats` counts the actual builds.
         """
-        if pois is None:
-            return self.pois, self.poi_tree
-        subset = list(pois)
-        if not subset:
-            raise ValueError("the query POI set may not be empty")
-        key = tuple(id(poi) for poi in subset)
-        cached = self._subset_trees.get(key)
-        if cached is not None:
-            return cached
-        tree = build_poi_index(subset, max_entries=self.ctx.rtree_fanout)
-        self.poi_subset_trees_built += 1
-        # The cached subset list keeps the POIs alive, so the id()-based
-        # key cannot be aliased by reallocation while the entry lives.
-        self._subset_trees.put(key, (subset, tree))
-        return subset, tree
+        return self._shard.resolve_pois(pois)
 
     # ------------------------------------------------------------------
     # Top-k queries (Problems 1 and 2)

@@ -23,15 +23,50 @@ downstream alerting consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, Protocol, Sequence
 
 from ..indoor.poi import Poi
 from ..obs import counter, obs_enabled, span
 from ..tracking.records import TrackingRecord
-from .engine import FlowEngine
 from .queries import TopKResult
 
-__all__ = ["TopKUpdate", "SnapshotTopKMonitor", "SlidingIntervalTopKMonitor"]
+__all__ = [
+    "MonitorableEngine",
+    "TopKUpdate",
+    "SnapshotTopKMonitor",
+    "SlidingIntervalTopKMonitor",
+]
+
+
+class MonitorableEngine(Protocol):
+    """What a monitor needs from its engine.
+
+    Both the monolithic :class:`~repro.core.engine.FlowEngine` and the
+    :class:`~repro.core.coordinator.ShardedFlowEngine` satisfy this, so
+    monitors tick unchanged over one shard or a fleet.
+    """
+
+    def snapshot_topk(
+        self,
+        t: float,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+    ) -> TopKResult: ...
+
+    def interval_topk(
+        self,
+        t_start: float,
+        t_end: float,
+        k: int,
+        pois: Sequence[Poi] | None = None,
+        method: str = "join",
+        use_segment_mbrs: bool = True,
+    ) -> TopKResult: ...
+
+    def ingest(self, records: Iterable[TrackingRecord]) -> int: ...
+
+    def stats(self) -> dict[str, int]: ...
 
 
 @dataclass(frozen=True, slots=True)
@@ -55,7 +90,7 @@ class TopKUpdate:
 class _BaseMonitor:
     def __init__(
         self,
-        engine: FlowEngine,
+        engine: MonitorableEngine,
         k: int,
         pois: Sequence[Poi] | None = None,
         method: str = "join",
@@ -207,7 +242,7 @@ class SlidingIntervalTopKMonitor(_BaseMonitor):
 
     def __init__(
         self,
-        engine: FlowEngine,
+        engine: MonitorableEngine,
         k: int,
         window_seconds: float,
         pois: Sequence[Poi] | None = None,

@@ -12,6 +12,7 @@ from .config import (
 )
 from .cph import build_cph_dataset
 from .dataset import Dataset
+from .stream import build_synthetic_ott_streamed, stream_synthetic_records
 from .synthetic import build_synthetic_dataset
 
 __all__ = [
@@ -26,4 +27,6 @@ __all__ = [
     "TOTAL_POIS",
     "build_cph_dataset",
     "build_synthetic_dataset",
+    "build_synthetic_ott_streamed",
+    "stream_synthetic_records",
 ]

@@ -34,6 +34,7 @@ from .export import (
     OBS_SCHEMA_VERSION,
     bench_baseline,
     format_table,
+    merge_snapshot_dicts,
     parse_snapshot,
     snapshot_dict,
     snapshot_json,
@@ -82,6 +83,7 @@ __all__ = [
     "format_table",
     "gauge",
     "histogram",
+    "merge_snapshot_dicts",
     "obs_enabled",
     "parse_snapshot",
     "reset",

@@ -31,7 +31,7 @@ silently misinterpret an old baseline.
 from __future__ import annotations
 
 import json
-from typing import Any, Mapping
+from typing import Any, Mapping, Sequence
 
 from .metrics import REGISTRY, MetricsRegistry
 from .tracing import TRACER, Tracer
@@ -40,6 +40,7 @@ __all__ = [
     "OBS_SCHEMA_VERSION",
     "bench_baseline",
     "format_table",
+    "merge_snapshot_dicts",
     "parse_snapshot",
     "snapshot_dict",
     "snapshot_json",
@@ -94,6 +95,109 @@ def snapshot_json(
     return json.dumps(
         snapshot_dict(tracer, registry), indent=indent, sort_keys=True
     )
+
+
+def merge_snapshot_dicts(
+    snapshots: "Sequence[Mapping[str, Any]]",
+) -> dict[str, Any]:
+    """Fold per-process snapshots into one fleet-wide snapshot.
+
+    A sharded engine running shards in worker processes collects one
+    :func:`snapshot_dict` per process (each process has its own tracer
+    and registry); this merges them into the same shape, so baselines
+    and reports read identically for in-process and multi-process runs.
+
+    Merge rules, per span path and per metric name:
+
+    * **spans** — ``count`` and ``total_seconds`` sum; ``min_seconds`` is
+      the minimum over rows that observed anything, ``max_seconds`` the
+      maximum.
+    * **counters** — values sum.
+    * **histograms** — per-bucket counts, ``sum`` and ``count`` add
+      elementwise; bucket ``boundaries`` must agree exactly (they are
+      part of the metric's identity).
+    * **gauges** — the maximum value wins: gauges report occupancy-style
+      levels, and the fleet-wide high-water mark is the conservative
+      summary.
+
+    Args:
+        snapshots: Snapshot mappings from :func:`snapshot_dict` (at least
+            one).
+
+    Returns:
+        The merged ``{"schema_version", "spans", "metrics"}`` mapping,
+        span rows path-sorted and metrics name-sorted.
+
+    Raises:
+        ValueError: If no snapshots are given, schema versions disagree
+            with this module's, a metric name maps to different kinds or
+            units, or histogram boundaries differ.
+    """
+    if not snapshots:
+        raise ValueError("merge_snapshot_dicts needs at least one snapshot")
+    spans: dict[tuple[str, ...], dict[str, Any]] = {}
+    metrics: dict[str, dict[str, Any]] = {}
+    for snapshot in snapshots:
+        version = snapshot.get("schema_version")
+        if version != OBS_SCHEMA_VERSION:
+            raise ValueError(
+                f"cannot merge snapshot schema_version {version!r} "
+                f"(this merger supports {OBS_SCHEMA_VERSION})"
+            )
+        for row in snapshot["spans"]:
+            path = tuple(row["path"])
+            merged = spans.get(path)
+            if merged is None:
+                spans[path] = dict(row)
+                continue
+            merged["total_seconds"] += row["total_seconds"]
+            if row["count"]:
+                if merged["count"]:
+                    merged["min_seconds"] = min(
+                        merged["min_seconds"], row["min_seconds"]
+                    )
+                else:
+                    merged["min_seconds"] = row["min_seconds"]
+                merged["max_seconds"] = max(
+                    merged["max_seconds"], row["max_seconds"]
+                )
+            merged["count"] += row["count"]
+        for name, payload in snapshot["metrics"].items():
+            merged = metrics.get(name)
+            if merged is None:
+                metrics[name] = dict(payload)
+                continue
+            if merged["kind"] != payload["kind"]:
+                raise ValueError(
+                    f"metric {name!r} is a {merged['kind']} in one snapshot "
+                    f"and a {payload['kind']} in another"
+                )
+            if merged["unit"] != payload["unit"]:
+                raise ValueError(
+                    f"metric {name!r} mixes units "
+                    f"{merged['unit']!r} and {payload['unit']!r}"
+                )
+            if payload["kind"] == "counter":
+                merged["value"] += payload["value"]
+            elif payload["kind"] == "gauge":
+                merged["value"] = max(merged["value"], payload["value"])
+            else:
+                if merged["boundaries"] != payload["boundaries"]:
+                    raise ValueError(
+                        f"histogram {name!r} bucket boundaries differ "
+                        "between snapshots"
+                    )
+                merged["counts"] = [
+                    a + b
+                    for a, b in zip(merged["counts"], payload["counts"])
+                ]
+                merged["sum"] += payload["sum"]
+                merged["count"] += payload["count"]
+    return {
+        "schema_version": OBS_SCHEMA_VERSION,
+        "spans": [spans[path] for path in sorted(spans)],
+        "metrics": {name: metrics[name] for name in sorted(metrics)},
+    }
 
 
 def parse_snapshot(text: str) -> dict[str, Any]:

@@ -23,7 +23,7 @@ the brute-force reference implementation the AR-tree is tested against.
 from __future__ import annotations
 
 import bisect
-from typing import Iterable, Iterator, Sequence
+from typing import AbstractSet, Iterable, Iterator, Sequence
 
 from .records import ObjectId, TrackingRecord
 
@@ -240,6 +240,41 @@ class ObjectTrackingTable(_TrackingReads):
         if not self._frozen:
             raise RuntimeError("freeze() the OTT before querying it")
 
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def partition_view(
+        self, object_ids: AbstractSet[ObjectId]
+    ) -> "ObjectTrackingTable":
+        """A frozen table holding only the given objects' records.
+
+        The restriction of a consistent table is consistent, so the view
+        is assembled directly from the parent's validated per-object
+        sequences (sharing the record instances) without re-validating.
+
+        Args:
+            object_ids: The objects the view keeps (ids without records
+                are simply absent from the view).
+
+        Returns:
+            A new, already-frozen :class:`ObjectTrackingTable`.
+
+        Raises:
+            RuntimeError: If this table was not frozen yet.
+        """
+        self._require_queryable()
+        view = ObjectTrackingTable()
+        view._records = [
+            record for record in self._records if record.object_id in object_ids
+        ]
+        for object_id, sequence in self._by_object.items():
+            if object_id in object_ids:
+                view._by_object[object_id] = list(sequence)
+                view._start_times[object_id] = list(self._start_times[object_id])
+        view._frozen = True
+        return view
+
 
 class LiveTrackingTable(_TrackingReads):
     """An append-capable OTT validated at append time, for live ingestion.
@@ -393,6 +428,34 @@ class LiveTrackingTable(_TrackingReads):
             del self._open[object_id]
         self._generation += 1
         return updated
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+
+    def partition_view(
+        self, object_ids: AbstractSet[ObjectId]
+    ) -> "LiveTrackingTable":
+        """A live table holding only the given objects' stream so far.
+
+        Open episodes stay open in the view, so a shard can keep
+        extending/closing them independently.  The view starts its own
+        generation counter at the number of replayed mutations; it does
+        not stay connected to the parent — it is the hand-off point when
+        a coordinator partitions one incoming stream across shards.
+
+        Args:
+            object_ids: The objects the view keeps.
+
+        Returns:
+            A new :class:`LiveTrackingTable` over the filtered records.
+        """
+        open_indices = set(self._open.values())
+        view = LiveTrackingTable()
+        for index, record in enumerate(self._records):
+            if record.object_id in object_ids:
+                view.append(record, open=index in open_indices)
+        return view
 
     # ------------------------------------------------------------------
     # Snapshotting

@@ -170,6 +170,46 @@ class TestContextBypass:
         )
         assert report.ok
 
+    def test_flags_direct_shard_mutation(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "shard.ingest_batch(records)\n"
+            "shard.ingest_open_episode(record)\n"
+            "shard.extend_open_episode('o1', 5.0)\n"
+            "shard.close_open_episode('o1')\n",
+            rule="context-bypass",
+        )
+        assert rule_names(report) == ["context-bypass"] * 4
+
+    def test_coordinator_and_engine_may_mutate_shards(self, tmp_path):
+        for filename in ("core/coordinator.py", "core/engine.py", "core/shard.py"):
+            report = lint_source(
+                tmp_path,
+                "count = shard.ingest_batch(records)\n",
+                filename=filename,
+                rule="context-bypass",
+            )
+            assert report.ok, filename
+
+    def test_shard_mutation_suppressible_with_pragma(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "# repro: allow(context-bypass): exercising the seam directly\n"
+            "shard.ingest_batch(records)\n",
+            rule="context-bypass",
+        )
+        assert report.ok
+
+    def test_engine_no_longer_allowed_to_patch_artree(self, tmp_path):
+        # The AR-tree mutator seam moved from the engine into ShardState.
+        report = lint_source(
+            tmp_path,
+            "tree.append_record(record, None)\n",
+            filename="core/engine.py",
+            rule="context-bypass",
+        )
+        assert rule_names(report) == ["context-bypass"]
+
 
 # ----------------------------------------------------------------------
 # mutable-default

@@ -1,0 +1,350 @@
+"""Merge equivalence: the sharded coordinator against the monolith.
+
+The contract under test is *bit identity*: for every shard count, query
+form, processing method and contracts setting, `ShardedFlowEngine` must
+return exactly the monolith's ranking **and** exactly its float flow
+values — the canonical contribution merge reproduces the monolithic
+accumulation order, so not even the last ulp may differ.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.contracts import set_contracts
+from repro.core import (
+    FlowEngine,
+    ForkedProcessExecutor,
+    SerialExecutor,
+    ShardedFlowEngine,
+    SnapshotTopKMonitor,
+    shard_of,
+)
+from repro.tracking.records import TrackingRecord
+from repro.tracking.table import LiveTrackingTable
+
+
+def assert_identical(result_a, result_b):
+    """Rankings and float flows must match bit for bit."""
+    assert result_a.poi_ids == result_b.poi_ids
+    assert result_a.flows == result_b.flows
+
+
+def make_sharded(dataset, num_shards, **kwargs):
+    kwargs.setdefault("detection_slack", 2.0 * dataset.sampling_interval)
+    return ShardedFlowEngine(
+        dataset.floorplan,
+        dataset.deployment,
+        dataset.ott,
+        dataset.pois,
+        v_max=dataset.v_max,
+        num_shards=num_shards,
+        **kwargs,
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_engines(synthetic_dataset):
+    return {
+        n: make_sharded(synthetic_dataset, n) for n in (1, 2, 4)
+    }
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize("method", ["join", "iterative"])
+    @pytest.mark.parametrize("k", [1, 5, 30])
+    def test_snapshot_topk(
+        self, synthetic_engine, sharded_engines, num_shards, method, k
+    ):
+        t = 600.0
+        assert_identical(
+            synthetic_engine.snapshot_topk(t, k, method=method),
+            sharded_engines[num_shards].snapshot_topk(t, k, method=method),
+        )
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 4])
+    @pytest.mark.parametrize("method", ["join", "iterative"])
+    @pytest.mark.parametrize("k", [1, 5, 30])
+    def test_interval_topk(
+        self, synthetic_engine, sharded_engines, num_shards, method, k
+    ):
+        assert_identical(
+            synthetic_engine.interval_topk(300.0, 900.0, k, method=method),
+            sharded_engines[num_shards].interval_topk(
+                300.0, 900.0, k, method=method
+            ),
+        )
+
+    @pytest.mark.parametrize("method", ["join", "iterative"])
+    def test_poi_subsets(
+        self, synthetic_dataset, synthetic_engine, sharded_engines, method
+    ):
+        subset = sorted(synthetic_dataset.pois, key=lambda p: p.poi_id)[:8]
+        assert_identical(
+            synthetic_engine.snapshot_topk(600.0, 3, pois=subset, method=method),
+            sharded_engines[2].snapshot_topk(
+                600.0, 3, pois=subset, method=method
+            ),
+        )
+        assert_identical(
+            synthetic_engine.interval_topk(
+                300.0, 900.0, 3, pois=subset, method=method
+            ),
+            sharded_engines[4].interval_topk(
+                300.0, 900.0, 3, pois=subset, method=method
+            ),
+        )
+
+    def test_flow_maps_match(self, synthetic_engine, sharded_engines):
+        for n, sharded in sharded_engines.items():
+            assert synthetic_engine.snapshot_flows(600.0) == (
+                sharded.snapshot_flows(600.0)
+            ), f"N={n}"
+            assert synthetic_engine.interval_flows(300.0, 900.0) == (
+                sharded.interval_flows(300.0, 900.0)
+            ), f"N={n}"
+
+    def test_density_ranking_matches(self, synthetic_engine, sharded_engines):
+        assert_identical(
+            synthetic_engine.snapshot_density_topk(600.0, 5),
+            sharded_engines[2].snapshot_density_topk(600.0, 5),
+        )
+        assert_identical(
+            synthetic_engine.interval_density_topk(300.0, 900.0, 5),
+            sharded_engines[2].interval_density_topk(300.0, 900.0, 5),
+        )
+
+    def test_with_contracts_enabled(self, synthetic_engine, sharded_engines):
+        set_contracts(True)
+        try:
+            assert_identical(
+                synthetic_engine.snapshot_topk(600.0, 5, method="join"),
+                sharded_engines[2].snapshot_topk(600.0, 5, method="join"),
+            )
+            assert_identical(
+                synthetic_engine.interval_topk(
+                    300.0, 900.0, 5, method="iterative"
+                ),
+                sharded_engines[4].interval_topk(
+                    300.0, 900.0, 5, method="iterative"
+                ),
+            )
+        finally:
+            set_contracts(None)
+
+    def test_segment_mbr_ablation_matches(
+        self, synthetic_engine, sharded_engines
+    ):
+        assert_identical(
+            synthetic_engine.interval_topk(
+                300.0, 900.0, 5, use_segment_mbrs=False
+            ),
+            sharded_engines[2].interval_topk(
+                300.0, 900.0, 5, use_segment_mbrs=False
+            ),
+        )
+
+
+class TestValidation:
+    def test_rejects_bad_shard_count(self, synthetic_dataset):
+        with pytest.raises(ValueError, match="num_shards"):
+            make_sharded(synthetic_dataset, 0)
+
+    def test_rejects_unknown_executor(self, synthetic_dataset):
+        with pytest.raises(ValueError, match="executor"):
+            make_sharded(synthetic_dataset, 2, executor="threads")
+
+    def test_rejects_unknown_method(self, sharded_engines):
+        with pytest.raises(ValueError, match="method"):
+            sharded_engines[2].snapshot_topk(600.0, 5, method="magic")
+
+    def test_rejects_bad_k(self, sharded_engines):
+        for method in ("join", "iterative"):
+            with pytest.raises(ValueError, match="k must be positive"):
+                sharded_engines[2].snapshot_topk(600.0, 0, method=method)
+
+    def test_rejects_empty_subset(self, sharded_engines):
+        with pytest.raises(ValueError, match="empty"):
+            sharded_engines[2].snapshot_topk(600.0, 5, pois=[])
+
+    def test_rejects_inverted_window(self, sharded_engines):
+        with pytest.raises(ValueError, match="precedes"):
+            sharded_engines[2].interval_topk(900.0, 300.0, 5)
+
+    def test_frozen_fleet_rejects_ingest(self, sharded_engines):
+        with pytest.raises(RuntimeError, match="frozen-batch"):
+            sharded_engines[2].ingest([])
+
+
+class TestPartitioning:
+    def test_shard_of_is_stable_and_in_range(self):
+        for n in (1, 2, 4, 7):
+            for object_id in ("o0", "o1", "alpha", 42):
+                index = shard_of(object_id, n)
+                assert 0 <= index < n
+                assert index == shard_of(object_id, n)
+
+    def test_shard_of_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            shard_of("o1", 0)
+
+    def test_shards_partition_the_population(
+        self, synthetic_dataset, sharded_engines
+    ):
+        engine = sharded_engines[4]
+        seen: dict[str, int] = {}
+        for index, shard in enumerate(engine.shards):
+            for object_id in shard.ott.object_ids:
+                assert object_id not in seen, "object in two shards"
+                seen[object_id] = index
+                assert shard_of(object_id, 4) == index
+        assert set(seen) == set(synthetic_dataset.ott.object_ids)
+        assert sum(len(shard.ott) for shard in engine.shards) == len(
+            synthetic_dataset.ott
+        )
+
+    def test_stats_sum_over_shards(self, synthetic_dataset):
+        engine = make_sharded(synthetic_dataset, 3)
+        engine.snapshot_topk(600.0, 5, method="iterative")
+        merged = engine.stats()
+        assert merged["shard_prunes"] == 0
+        per_shard = [shard.stats() for shard in engine.shards]
+        for key in per_shard[0]:
+            assert merged[key] == sum(part[key] for part in per_shard)
+
+
+class TestLiveIngest:
+    def _split_dataset(self, dataset):
+        records = sorted(
+            dataset.ott, key=lambda r: (r.t_s, r.t_e, r.record_id)
+        )
+        half = len(records) // 2
+        return records[:half], records[half:]
+
+    def _live_pair(self, dataset, num_shards):
+        head, tail = self._split_dataset(dataset)
+        mono = FlowEngine(
+            dataset.floorplan,
+            dataset.deployment,
+            LiveTrackingTable(head),
+            dataset.pois,
+            v_max=dataset.v_max,
+            detection_slack=2.0 * dataset.sampling_interval,
+        )
+        sharded = ShardedFlowEngine(
+            dataset.floorplan,
+            dataset.deployment,
+            LiveTrackingTable(head),
+            dataset.pois,
+            v_max=dataset.v_max,
+            num_shards=num_shards,
+            detection_slack=2.0 * dataset.sampling_interval,
+        )
+        return mono, sharded, tail
+
+    def test_routed_ingest_stays_bit_identical(self, synthetic_dataset):
+        mono, sharded, tail = self._live_pair(synthetic_dataset, 3)
+        assert mono.ingest(tail) == sharded.ingest(tail) == len(tail)
+        assert sharded.generation == len(tail)
+        for method in ("join", "iterative"):
+            assert_identical(
+                mono.snapshot_topk(600.0, 5, method=method),
+                sharded.snapshot_topk(600.0, 5, method=method),
+            )
+            assert_identical(
+                mono.interval_topk(300.0, 900.0, 5, method=method),
+                sharded.interval_topk(300.0, 900.0, 5, method=method),
+            )
+
+    def test_open_episode_lifecycle_matches_monolith(self, synthetic_dataset):
+        mono, sharded, tail = self._live_pair(synthetic_dataset, 3)
+        mono.ingest(tail)
+        sharded.ingest(tail)
+        template = tail[-1]
+        t0 = max(r.t_e for r in tail) + 5.0
+        record = TrackingRecord(
+            record_id=10**6,
+            object_id=template.object_id,
+            device_id=template.device_id,
+            t_s=t0,
+            t_e=t0,
+        )
+        mono.ingest_open(record)
+        sharded.ingest_open(record)
+        assert mono.extend_episode(record.object_id, t0 + 20.0) == (
+            sharded.extend_episode(record.object_id, t0 + 20.0)
+        )
+        assert_identical(
+            mono.snapshot_topk(t0 + 10.0, 5),
+            sharded.snapshot_topk(t0 + 10.0, 5),
+        )
+        assert mono.close_episode(record.object_id, t0 + 30.0) == (
+            sharded.close_episode(record.object_id, t0 + 30.0)
+        )
+        assert_identical(
+            mono.interval_topk(t0, t0 + 30.0, 5),
+            sharded.interval_topk(t0, t0 + 30.0, 5),
+        )
+        assert sharded.generation == len(tail) + 3
+
+
+class TestMonitorOverCoordinator:
+    def test_monitor_ticks_through_the_fleet(self, synthetic_dataset):
+        mono, sharded, tail = TestLiveIngest()._live_pair(synthetic_dataset, 2)
+        monitor_mono = SnapshotTopKMonitor(mono, k=5)
+        monitor_sharded = SnapshotTopKMonitor(sharded, k=5)
+        for t, records in ((400.0, tail[: len(tail) // 2]), (800.0, tail[len(tail) // 2 :])):
+            update_mono = monitor_mono.tick(t, records)
+            update_sharded = monitor_sharded.tick(t, records)
+            assert_identical(update_mono.result, update_sharded.result)
+            assert update_mono.entered == update_sharded.entered
+            assert update_mono.exited == update_sharded.exited
+        assert monitor_sharded.stats()["shard_prunes"] >= 0
+
+
+class TestExecutors:
+    def test_serial_executor_is_in_process(self, sharded_engines):
+        assert isinstance(sharded_engines[2].executor, SerialExecutor)
+        assert sharded_engines[2].executor.in_process
+
+    def test_forked_executor_matches_monolith(
+        self, synthetic_dataset, synthetic_engine
+    ):
+        with make_sharded(
+            synthetic_dataset, 2, executor="process"
+        ) as sharded:
+            assert isinstance(sharded.executor, ForkedProcessExecutor)
+            assert not sharded.executor.in_process
+            for method in ("join", "iterative"):
+                assert_identical(
+                    synthetic_engine.snapshot_topk(600.0, 5, method=method),
+                    sharded.snapshot_topk(600.0, 5, method=method),
+                )
+            assert_identical(
+                synthetic_engine.interval_topk(300.0, 900.0, 5),
+                sharded.interval_topk(300.0, 900.0, 5),
+            )
+            snapshot = sharded.obs_snapshot()
+            assert set(snapshot) == {"schema_version", "spans", "metrics"}
+
+    def test_forked_executor_propagates_errors(self, synthetic_dataset):
+        with make_sharded(
+            synthetic_dataset, 2, executor="process"
+        ) as sharded:
+            with pytest.raises(ValueError, match="empty"):
+                sharded.snapshot_topk(600.0, 5, pois=[])
+            # The pipes stay usable after an error round-trip.
+            assert len(sharded.snapshot_topk(600.0, 5)) == 5
+
+    def test_executor_factory_callable(self, synthetic_dataset):
+        built = []
+
+        def factory(shards):
+            executor = SerialExecutor(shards)
+            built.append(executor)
+            return executor
+
+        engine = make_sharded(synthetic_dataset, 2, executor=factory)
+        assert engine.executor is built[0]
+        assert len(engine.snapshot_topk(600.0, 3)) == 3

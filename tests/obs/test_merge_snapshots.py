@@ -1,0 +1,158 @@
+"""`merge_snapshot_dicts`: folding per-process snapshots into one."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import OBS_SCHEMA_VERSION, merge_snapshot_dicts
+
+
+def _snapshot(spans=(), metrics=None):
+    return {
+        "schema_version": OBS_SCHEMA_VERSION,
+        "spans": list(spans),
+        "metrics": dict(metrics or {}),
+    }
+
+
+def _span_row(path, count, total, minimum, maximum):
+    return {
+        "path": list(path),
+        "count": count,
+        "total_seconds": total,
+        "min_seconds": minimum,
+        "max_seconds": maximum,
+    }
+
+
+class TestSpans:
+    def test_sums_counts_and_totals(self):
+        merged = merge_snapshot_dicts(
+            [
+                _snapshot([_span_row(("q",), 2, 1.0, 0.25, 0.75)]),
+                _snapshot([_span_row(("q",), 3, 2.0, 0.1, 1.5)]),
+            ]
+        )
+        (row,) = merged["spans"]
+        assert row["count"] == 5
+        assert row["total_seconds"] == pytest.approx(3.0)
+        assert row["min_seconds"] == pytest.approx(0.1)
+        assert row["max_seconds"] == pytest.approx(1.5)
+
+    def test_zero_count_rows_do_not_poison_minimum(self):
+        merged = merge_snapshot_dicts(
+            [
+                _snapshot([_span_row(("q",), 0, 0.0, 0.0, 0.0)]),
+                _snapshot([_span_row(("q",), 1, 0.5, 0.5, 0.5)]),
+            ]
+        )
+        (row,) = merged["spans"]
+        assert row["min_seconds"] == pytest.approx(0.5)
+
+    def test_disjoint_paths_union_sorted(self):
+        merged = merge_snapshot_dicts(
+            [
+                _snapshot([_span_row(("b",), 1, 0.1, 0.1, 0.1)]),
+                _snapshot([_span_row(("a",), 1, 0.2, 0.2, 0.2)]),
+            ]
+        )
+        assert [row["path"] for row in merged["spans"]] == [["a"], ["b"]]
+
+
+class TestMetrics:
+    def test_counters_sum(self):
+        merged = merge_snapshot_dicts(
+            [
+                _snapshot(metrics={"c": {"kind": "counter", "unit": "n", "value": 2.0}}),
+                _snapshot(metrics={"c": {"kind": "counter", "unit": "n", "value": 3.0}}),
+            ]
+        )
+        assert merged["metrics"]["c"]["value"] == pytest.approx(5.0)
+
+    def test_gauges_take_the_maximum(self):
+        merged = merge_snapshot_dicts(
+            [
+                _snapshot(metrics={"g": {"kind": "gauge", "unit": "", "value": 7.0}}),
+                _snapshot(metrics={"g": {"kind": "gauge", "unit": "", "value": 3.0}}),
+            ]
+        )
+        assert merged["metrics"]["g"]["value"] == pytest.approx(7.0)
+
+    def test_histograms_add_elementwise(self):
+        h1 = {
+            "kind": "histogram",
+            "unit": "seconds",
+            "boundaries": [1.0, 2.0],
+            "counts": [1, 2, 0],
+            "sum": 3.0,
+            "count": 3,
+        }
+        h2 = {
+            "kind": "histogram",
+            "unit": "seconds",
+            "boundaries": [1.0, 2.0],
+            "counts": [0, 1, 4],
+            "sum": 9.0,
+            "count": 5,
+        }
+        merged = merge_snapshot_dicts(
+            [_snapshot(metrics={"h": h1}), _snapshot(metrics={"h": h2})]
+        )
+        assert merged["metrics"]["h"]["counts"] == [1, 3, 4]
+        assert merged["metrics"]["h"]["sum"] == pytest.approx(12.0)
+        assert merged["metrics"]["h"]["count"] == 8
+
+    def test_histogram_boundary_mismatch_rejected(self):
+        h1 = {
+            "kind": "histogram",
+            "unit": "seconds",
+            "boundaries": [1.0],
+            "counts": [0, 0],
+            "sum": 0.0,
+            "count": 0,
+        }
+        h2 = dict(h1, boundaries=[2.0])
+        with pytest.raises(ValueError, match="boundaries"):
+            merge_snapshot_dicts(
+                [_snapshot(metrics={"h": h1}), _snapshot(metrics={"h": h2})]
+            )
+
+    def test_kind_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="kind|counter|gauge"):
+            merge_snapshot_dicts(
+                [
+                    _snapshot(metrics={"m": {"kind": "counter", "unit": "", "value": 1.0}}),
+                    _snapshot(metrics={"m": {"kind": "gauge", "unit": "", "value": 1.0}}),
+                ]
+            )
+
+    def test_unit_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="units"):
+            merge_snapshot_dicts(
+                [
+                    _snapshot(metrics={"m": {"kind": "counter", "unit": "a", "value": 1.0}}),
+                    _snapshot(metrics={"m": {"kind": "counter", "unit": "b", "value": 1.0}}),
+                ]
+            )
+
+
+class TestValidation:
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError, match="at least one"):
+            merge_snapshot_dicts([])
+
+    def test_rejects_schema_mismatch(self):
+        bad = _snapshot()
+        bad["schema_version"] = OBS_SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema_version"):
+            merge_snapshot_dicts([bad])
+
+    def test_single_snapshot_round_trips(self):
+        snapshot = _snapshot(
+            [_span_row(("q", "inner"), 2, 1.0, 0.4, 0.6)],
+            {"c": {"kind": "counter", "unit": "n", "value": 1.0}},
+        )
+        merged = merge_snapshot_dicts([snapshot])
+        assert merged["spans"] == snapshot["spans"]
+        assert merged["metrics"] == snapshot["metrics"]
+        assert merged["schema_version"] == OBS_SCHEMA_VERSION
