@@ -1,0 +1,497 @@
+"""Approximate call graph over a :class:`~repro.analysis.program.ProjectModel`.
+
+Resolution is static and name/annotation driven — nothing is imported or
+executed:
+
+* bare-name calls resolve through the module's import map and local
+  definitions;
+* ``self.method()`` resolves through the enclosing class and its known
+  bases (a breadth-first walk of the modelled hierarchy);
+* ``obj.method()`` resolves when ``obj``'s type can be inferred from a
+  parameter/variable annotation, a constructor assignment in the same
+  function (``s = ShardState(...)``), a typed ``self.<attr>`` of the
+  enclosing class, or an annotated property of a known class;
+* as a last resort a method call falls back to *every* known class
+  declaring that method name (recorded as low-confidence candidates).
+
+The graph keeps forward and reverse edges plus every
+:class:`CallSite` (with the inferred receiver type), which is what the
+interprocedural checkers consume: reachability questions ("is this
+mutator only callable from the ingest seam?") run over the reverse
+edges, and type-filtered call-site scans ("``.append()`` on a
+``LiveTrackingTable``") run over the sites.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from .program import (
+    MODULE_SCOPE,
+    annotation_name,
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectModel,
+)
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(slots=True)
+class CallSite:
+    """One call expression inside a function."""
+
+    caller: str
+    """Qualname of the enclosing function (or ``<module>`` scope)."""
+
+    module: str
+    name: str
+    """The called bare name (``f`` for ``f(...)``, ``m`` for ``o.m(...)``)."""
+
+    line: int
+    col: int
+    node: ast.Call
+    receiver: str | None = None
+    """Receiver expression source for method calls (``shard.ctx`` …)."""
+
+    receiver_type: str | None = None
+    """The receiver's inferred class *qualname*, when known."""
+
+    candidates: tuple[str, ...] = ()
+    """Possible callee qualnames (empty when unresolved)."""
+
+    confident: bool = True
+    """False when resolution fell back to the any-class-with-this-method
+    heuristic."""
+
+
+class _TypeEnv:
+    """Local name -> class qualname for one function body."""
+
+    def __init__(self) -> None:
+        self.names: dict[str, str] = {}
+
+    def get(self, name: str) -> str | None:
+        return self.names.get(name)
+
+
+class CallGraph:
+    """Forward/reverse call edges plus the full call-site index."""
+
+    def __init__(self, model: ProjectModel):
+        self.model = model
+        self.edges: dict[str, set[str]] = {}
+        self.reverse: dict[str, set[str]] = {}
+        self.sites: list[CallSite] = []
+        self.sites_by_caller: dict[str, list[CallSite]] = {}
+        self._envs: dict[str, _TypeEnv] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, model: ProjectModel) -> "CallGraph":
+        """Resolve every call site in ``model`` into a graph."""
+        graph = cls(model)
+        for module in model.modules.values():
+            graph._visit_module(module)
+        return graph
+
+    def _visit_module(self, module: ModuleInfo) -> None:
+        # Walk each function body exactly once, attributing nested
+        # functions to their own scope.
+        for function in self.model.functions.values():
+            if function.module != module.name:
+                continue
+            env = self._env_for(function, module)
+            for node in self._own_nodes(function):
+                if isinstance(node, ast.Call):
+                    self._resolve_call(function, module, env, node)
+        # Module-level calls get the module pseudo-scope.
+        scope = f"{module.name}.{MODULE_SCOPE}"
+        env = _TypeEnv()
+        for node in self._module_level_nodes(module):
+            if isinstance(node, ast.Call):
+                self._resolve_module_call(scope, module, env, node)
+
+    @staticmethod
+    def _own_nodes(function: FunctionInfo) -> Iterable[ast.AST]:
+        """The nodes of ``function`` excluding nested def/class bodies."""
+        queue: list[ast.AST] = list(ast.iter_child_nodes(function.node))
+        while queue:
+            node = queue.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            queue.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _module_level_nodes(module: ModuleInfo) -> Iterable[ast.AST]:
+        queue: list[ast.AST] = list(ast.iter_child_nodes(module.tree))
+        while queue:
+            node = queue.pop()
+            yield node
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            queue.extend(ast.iter_child_nodes(node))
+
+    # ------------------------------------------------------------------
+    # Type inference
+    # ------------------------------------------------------------------
+
+    def _env_for(self, function: FunctionInfo, module: ModuleInfo) -> _TypeEnv:
+        cached = self._envs.get(function.qualname)
+        if cached is not None:
+            return cached
+        env = _TypeEnv()
+        args = function.node.args
+        for arg in [
+            *args.posonlyargs,
+            *args.args,
+            *args.kwonlyargs,
+            *([args.vararg] if args.vararg else []),
+            *([args.kwarg] if args.kwarg else []),
+        ]:
+            if arg.annotation is not None:
+                qualname = self._resolve_annotation(module, arg.annotation)
+                if qualname is not None:
+                    env.names[arg.arg] = qualname
+        for node in self._own_nodes(function):
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                qualname = self._resolve_annotation(module, node.annotation)
+                if qualname is not None:
+                    env.names[node.target.id] = qualname
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Call
+                ):
+                    # Constructor calls and annotated-return calls alike
+                    # (`live = self._require_live()` picks up the helper's
+                    # return annotation).
+                    qualname = self._infer(node.value, env, function, module)
+                    if qualname is not None:
+                        env.names[target.id] = qualname
+        self._envs[function.qualname] = env
+        return env
+
+    def _resolve_annotation(
+        self, module: ModuleInfo, annotation: ast.expr
+    ) -> str | None:
+        name = annotation_name(annotation)
+        if name is None:
+            return None
+        resolved = self.model.resolve_name(module, name)
+        if resolved is not None and resolved in self.model.classes:
+            return resolved
+        by_name = self.model.classes_by_name.get(name)
+        return by_name[0].qualname if by_name else None
+
+    def _constructor_target(
+        self, module: ModuleInfo, call: ast.Call
+    ) -> str | None:
+        """The class qualname a ``Cls(...)`` call constructs, if known."""
+        func = call.func
+        name: str | None = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            # `Cls.build(...)` classmethod constructors: when the
+            # receiver is a known class, use the method's return
+            # annotation (falling back to the class itself when the
+            # method exists unannotated — classmethods conventionally
+            # return cls).
+            if isinstance(func.value, ast.Name):
+                base_cls = self._class_for_name(module, func.value.id)
+                if base_cls is not None:
+                    method = self.model.mro_methods(base_cls, func.attr)
+                    if method is not None:
+                        if method.node.returns is not None:
+                            owner = self.model.modules.get(
+                                method.module, module
+                            )
+                            return self._resolve_annotation(
+                                owner, method.node.returns
+                            )
+                        return base_cls.qualname
+            name = func.attr
+        if name is None:
+            return None
+        resolved = self.model.resolve_name(module, name)
+        if resolved is not None and resolved in self.model.classes:
+            return resolved
+        by_name = self.model.classes_by_name.get(name)
+        return by_name[0].qualname if by_name else None
+
+    def _class_for_name(
+        self, module: ModuleInfo, name: str
+    ) -> ClassInfo | None:
+        """Resolve a bare name to a modelled class, imports first."""
+        resolved = self.model.resolve_name(module, name)
+        if resolved is not None and resolved in self.model.classes:
+            return self.model.classes[resolved]
+        by_name = self.model.classes_by_name.get(name)
+        return by_name[0] if by_name else None
+
+    def infer_type(
+        self,
+        function: FunctionInfo,
+        expr: ast.expr,
+    ) -> str | None:
+        """The class qualname ``expr`` evaluates to inside ``function``.
+
+        Covers: ``self``, annotated/constructed locals, typed
+        ``self.<attr>`` attributes, annotated properties and annotated
+        method return types on known classes, one attribute hop deep.
+        """
+        module = self.model.modules.get(function.module)
+        if module is None:
+            return None
+        env = self._env_for(function, module)
+        return self._infer(expr, env, function, module)
+
+    def _infer(
+        self,
+        expr: ast.expr,
+        env: _TypeEnv,
+        function: FunctionInfo | None,
+        module: ModuleInfo,
+    ) -> str | None:
+        if isinstance(expr, ast.Name):
+            if (
+                expr.id == "self"
+                and function is not None
+                and function.cls is not None
+            ):
+                return function.cls
+            return env.get(expr.id)
+        if isinstance(expr, ast.Call):
+            constructed = self._constructor_target(module, expr)
+            if constructed is not None:
+                return constructed
+            # Annotated return type of a resolvable callee.
+            callee = self._infer_callable(expr, env, function, module)
+            if callee is not None:
+                return self._return_type(callee, module)
+            return None
+        if isinstance(expr, ast.Attribute):
+            base_type = self._infer(expr.value, env, function, module)
+            if base_type is None:
+                return None
+            class_info = self.model.classes.get(base_type)
+            while class_info is not None:
+                attr_type = class_info.attr_types.get(expr.attr)
+                if attr_type:
+                    resolved = self.model.resolve_class(attr_type)
+                    if resolved is not None:
+                        return resolved.qualname
+                prop = class_info.methods.get(expr.attr)
+                if prop is not None and prop.is_property:
+                    return self._return_type(prop, module)
+                class_info = self._first_base(class_info)
+            return None
+        return None
+
+    def _first_base(self, class_info: ClassInfo) -> ClassInfo | None:
+        for base_name in class_info.base_names:
+            base = self.model.resolve_class(base_name.rsplit(".", 1)[-1])
+            if base is not None and base.qualname != class_info.qualname:
+                return base
+        return None
+
+    def _infer_callable(
+        self,
+        call: ast.Call,
+        env: _TypeEnv,
+        function: FunctionInfo | None,
+        module: ModuleInfo,
+    ) -> FunctionInfo | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            resolved = self.model.resolve_name(module, func.id)
+            if resolved is not None:
+                return self.model.functions.get(resolved)
+            return None
+        if isinstance(func, ast.Attribute):
+            base_type = self._infer(func.value, env, function, module)
+            if base_type is not None:
+                class_info = self.model.classes.get(base_type)
+                if class_info is not None:
+                    return self.model.mro_methods(class_info, func.attr)
+        return None
+
+    def _return_type(
+        self, function: FunctionInfo, module: ModuleInfo
+    ) -> str | None:
+        returns = function.node.returns
+        if returns is None:
+            return None
+        owner_module = self.model.modules.get(function.module, module)
+        return self._resolve_annotation(owner_module, returns)
+
+    # ------------------------------------------------------------------
+    # Call resolution
+    # ------------------------------------------------------------------
+
+    def _resolve_call(
+        self,
+        function: FunctionInfo,
+        module: ModuleInfo,
+        env: _TypeEnv,
+        node: ast.Call,
+    ) -> None:
+        site = self._make_site(function.qualname, module, env, function, node)
+        if site is None:
+            return
+        self._add_site(site)
+
+    def _resolve_module_call(
+        self,
+        scope: str,
+        module: ModuleInfo,
+        env: _TypeEnv,
+        node: ast.Call,
+    ) -> None:
+        site = self._make_site(scope, module, env, None, node)
+        if site is None:
+            return
+        self._add_site(site)
+
+    def _make_site(
+        self,
+        caller: str,
+        module: ModuleInfo,
+        env: _TypeEnv,
+        function: FunctionInfo | None,
+        node: ast.Call,
+    ) -> CallSite | None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            resolved = self.model.resolve_name(module, func.id)
+            candidates: tuple[str, ...] = ()
+            if resolved is not None:
+                if resolved in self.model.classes:
+                    init = self.model.classes[resolved].methods.get("__init__")
+                    candidates = (
+                        (init.qualname,) if init is not None else (resolved,)
+                    )
+                else:
+                    candidates = (resolved,)
+            return CallSite(
+                caller=caller,
+                module=module.name,
+                name=func.id,
+                line=node.lineno,
+                col=node.col_offset,
+                node=node,
+                candidates=candidates,
+            )
+        if isinstance(func, ast.Attribute):
+            receiver_src: str | None
+            try:
+                receiver_src = ast.unparse(func.value)
+            except Exception:  # pragma: no cover - defensive
+                receiver_src = None
+            receiver_type = self._infer(func.value, env, function, module)
+            candidates = ()
+            confident = True
+            if receiver_type is not None:
+                class_info = self.model.classes.get(receiver_type)
+                if class_info is not None:
+                    method = self.model.mro_methods(class_info, func.attr)
+                    if method is not None:
+                        candidates = (method.qualname,)
+            if not candidates:
+                # Fallback: any known class (or module function) with a
+                # matching method name — low confidence.
+                fallback = [
+                    info.qualname
+                    for info in self.model.methods_by_name.get(func.attr, [])
+                ]
+                if fallback:
+                    candidates = tuple(fallback)
+                    confident = False
+            return CallSite(
+                caller=caller,
+                module=module.name,
+                name=func.attr,
+                line=node.lineno,
+                col=node.col_offset,
+                node=node,
+                receiver=receiver_src,
+                receiver_type=receiver_type,
+                candidates=candidates,
+                confident=confident,
+            )
+        return None
+
+    def _add_site(self, site: CallSite) -> None:
+        self.sites.append(site)
+        self.sites_by_caller.setdefault(site.caller, []).append(site)
+        if site.confident:
+            for callee in site.candidates:
+                self.edges.setdefault(site.caller, set()).add(callee)
+                self.reverse.setdefault(callee, set()).add(site.caller)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def callers_of(self, qualname: str) -> frozenset[str]:
+        """Direct (confident) callers of ``qualname``."""
+        return frozenset(self.reverse.get(qualname, set()))
+
+    def callees_of(self, qualname: str) -> frozenset[str]:
+        """Direct (confident) callees of ``qualname``."""
+        return frozenset(self.edges.get(qualname, set()))
+
+    def transitive_callers(
+        self, targets: Iterable[str], stop: frozenset[str] = frozenset()
+    ) -> set[str]:
+        """Everything that can reach ``targets`` along reverse edges.
+
+        Args:
+            targets: The callee qualnames to start from (not included in
+                the result unless they call each other).
+            stop: Qualnames whose own callers are not explored — the
+                "seam": reaching a stop node ends that path.
+
+        Returns:
+            The set of caller qualnames (stop nodes included when they
+            call a target directly; their callers are not).
+        """
+        seen: set[str] = set()
+        queue = [target for target in targets]
+        while queue:
+            current = queue.pop()
+            for caller in self.reverse.get(current, set()):
+                if caller in seen:
+                    continue
+                seen.add(caller)
+                if caller not in stop:
+                    queue.append(caller)
+        return seen
+
+    def transitive_closure(
+        self, roots: Iterable[str]
+    ) -> set[str]:
+        """Everything (confidently) reachable from ``roots`` via calls."""
+        seen: set[str] = set()
+        queue = list(roots)
+        while queue:
+            current = queue.pop()
+            for callee in self.edges.get(current, set()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append(callee)
+        return seen

@@ -1,0 +1,145 @@
+"""Checker: tracked-state mutators invalidate caches on the same path.
+
+The caching layer (PR 4/6) memoises presence integrals, POI subset trees
+and partial flows, keyed by the :class:`EvaluationContext`'s
+``data_generation`` counter and per-object tail epochs.  The contract:
+any function that appends or patches indexed/tracked state
+(``ARTree.append_record``, ``ARTree.patch_tail``,
+``LiveTrackingTable.append`` / ``extend_episode`` / ``close_episode``)
+must — before returning — bump the generation counter, either directly
+or by calling ``EvaluationContext.note_append``.  A mutator that can
+return without invalidation leaves memoised results stale: queries keep
+answering from cache while the underlying AR-tree has moved on.
+
+The check is interprocedural: a function "invalidates" if it calls
+``note_append`` / writes a generation counter itself **or** (confidently)
+calls a function that does, computed as a fixpoint over the call graph.
+Every tracked-mutator call site whose enclosing function does not
+invalidate — and is not part of the storage layer that owns the state —
+is flagged.  This is a per-function approximation of the real "on every
+path" property: it catches the dangerous shape (mutate, never
+invalidate) without path-sensitive analysis.
+"""
+
+from __future__ import annotations
+
+from ..callgraph import CallGraph, CallSite
+from ..linter import Diagnostic
+from ..program import ProjectModel
+from .base import Checker
+
+__all__ = ["CacheCoherenceChecker"]
+
+#: Tracked mutators: method name -> receiver class names that make the
+#: call tracked.  ``None`` means "also tracked when the receiver type is
+#: unknown" (safe for distinctive names only; ``append`` would otherwise
+#: flag every ``list.append``).
+TRACKED_MUTATORS: dict[str, frozenset[str | None]] = {
+    "append_record": frozenset({"ARTree", None}),
+    "patch_tail": frozenset({"ARTree", None}),
+    "append": frozenset({"LiveTrackingTable"}),
+    "extend_episode": frozenset({"LiveTrackingTable"}),
+    "close_episode": frozenset({"LiveTrackingTable"}),
+}
+
+#: The storage layer owning the tracked state; its internals maintain
+#: their own bookkeeping and are not re-checked here.
+STORAGE_CLASSES = frozenset({"ARTree", "LiveTrackingTable"})
+STORAGE_MODULES = frozenset({"repro.index.artree", "repro.tracking.table"})
+
+#: Calls that count as invalidation.
+INVALIDATOR_CALLS = frozenset({"note_append"})
+
+#: Attribute writes that count as invalidation (generation counters and
+#: epoch maps, by naming convention).
+_INVALIDATOR_ATTR_MARKERS = ("generation", "epoch")
+
+
+def _is_invalidating_attr(attr: str) -> bool:
+    lowered = attr.lower()
+    return any(marker in lowered for marker in _INVALIDATOR_ATTR_MARKERS)
+
+
+class CacheCoherenceChecker(Checker):
+    name = "cache-coherence"
+    description = (
+        "functions that append/patch tracked state must bump the "
+        "generation counter or call note_append before returning"
+    )
+    paper_ref = (
+        "incremental Φ(p) maintenance (PAPER.md §5): memoised presence "
+        "and flow results are only reusable while the generation stamp "
+        "matches the AR-tree contents"
+    )
+
+    def check(
+        self, model: ProjectModel, graph: CallGraph, *, report_all: bool = False
+    ) -> list[Diagnostic]:
+        invalidating = self._invalidating_functions(model, graph)
+        diagnostics: list[Diagnostic] = []
+        for site in graph.sites:
+            if not self._tracked_site(site):
+                continue
+            module = model.modules.get(site.module)
+            if module is None or not self.reportable(
+                module.path, report_all=report_all
+            ):
+                continue
+            if self._storage_internal(model, site.caller):
+                continue
+            if site.caller in invalidating:
+                continue
+            receiver = site.receiver or "<expr>"
+            diagnostics.append(
+                self.diagnostic(
+                    module.path,
+                    site.node,
+                    f"{receiver}.{site.name}() mutates tracked state but the "
+                    "enclosing function never bumps the generation counter "
+                    "nor calls note_append (directly or via a callee); "
+                    "memoised presence/flow results go stale",
+                )
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _tracked_site(site: CallSite) -> bool:
+        allowed = TRACKED_MUTATORS.get(site.name)
+        if allowed is None:
+            return False
+        if site.receiver_type is not None:
+            return site.receiver_type.rsplit(".", 1)[-1] in allowed
+        return None in allowed
+
+    def _storage_internal(self, model: ProjectModel, qualname: str) -> bool:
+        function = model.functions.get(qualname)
+        if function is None:
+            return qualname.rsplit(".", 1)[0] in STORAGE_MODULES
+        if function.module in STORAGE_MODULES:
+            return True
+        cls = function.cls
+        return cls is not None and cls.rsplit(".", 1)[-1] in STORAGE_CLASSES
+
+    def _invalidating_functions(
+        self, model: ProjectModel, graph: CallGraph
+    ) -> set[str]:
+        """Functions that (transitively) invalidate — a reverse fixpoint."""
+        invalidating: set[str] = set()
+        for qualname, sites in graph.sites_by_caller.items():
+            if any(site.name in INVALIDATOR_CALLS for site in sites):
+                invalidating.add(qualname)
+        for write in model.attribute_writes:
+            if _is_invalidating_attr(write.attr):
+                invalidating.add(write.function)
+        # Propagate along reverse edges: a caller of an invalidating
+        # function invalidates too.  Worklist until fixpoint.
+        queue = list(invalidating)
+        while queue:
+            current = queue.pop()
+            for caller in graph.reverse.get(current, set()):
+                if caller not in invalidating:
+                    invalidating.add(caller)
+                    queue.append(caller)
+        return invalidating

@@ -1,0 +1,453 @@
+"""Checker: shard state is only mutated through the coordinator/engine seam.
+
+PR 6 split the engine into :class:`~repro.core.shard.ShardState`
+partitions behind a coordinator that routes every mutation to the owning
+shard and keeps three things in lockstep: the routing partition
+(``crc32(object_id) % N``), the live table's generation counter and the
+context's per-object cache epochs.  A ``ShardState`` (or the AR-tree /
+live table / cache internals it owns) mutated behind the coordinator's
+back silently diverges from all three — queries keep answering, with
+wrong bits.
+
+Three whole-program checks, all interprocedural over the call graph:
+
+1. **External attribute writes** — ``shard.artree = ...``,
+   ``tree._delta = ...`` and friends are flagged anywhere outside the
+   guarded class itself and the implementation modules.
+2. **Mutator reachability** — calls of the guarded mutator methods
+   (``ingest_batch``, ``append_record``, ``patch_tail``,
+   ``LiveTrackingTable.append`` …) are flagged unless the calling
+   function is part of the ingest seam (the guarded classes themselves,
+   the engine/coordinator facades, or the forked worker loop).  Unlike
+   the per-file ``context-bypass`` rule this is receiver-type aware
+   (``entries.append(...)`` on a list is not a finding) and sees through
+   helper indirection.
+3. **Fork divergence** — a closure or lambda handed to an executor
+   ``run()`` / ``Process(target=...)`` that mutates state captured from
+   the submitting function is flagged: with a forked worker the write
+   lands in the child's copy-on-write memory and the coordinator's copy
+   silently diverges.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..callgraph import CallGraph, CallSite
+from ..linter import Diagnostic
+from ..program import FunctionInfo, ProjectModel
+from .base import Checker
+
+__all__ = ["ShardSafetyChecker"]
+
+#: Classes whose state is coordinator-owned (matched by bare name so the
+#: checker also works on fixture trees that model the shapes).
+GUARDED_CLASSES = frozenset(
+    {"ShardState", "ARTree", "LiveTrackingTable", "EvaluationContext", "LruCache"}
+)
+
+#: Facade classes allowed to drive shard mutations (the ingest seam).
+SEAM_CLASSES = GUARDED_CLASSES | frozenset(
+    {"FlowEngine", "LiveFlowEngine", "ShardedFlowEngine"}
+)
+
+#: Modules that implement the seam and may touch internals directly.
+SEAM_MODULES = frozenset(
+    {
+        "repro.core.shard",
+        "repro.core.engine",
+        "repro.core.coordinator",
+        "repro.core.context",
+        "repro.core.caching",
+        "repro.index.artree",
+        "repro.tracking.table",
+    }
+)
+
+#: Free-standing functions that are part of the seam (worker loops).
+SEAM_FUNCTIONS = frozenset({"_shard_worker"})
+
+#: Guarded mutator methods: name -> receiver class names that make the
+#: call guarded.  ``None`` in the set means "also guard when the receiver
+#: type cannot be inferred" (distinctive names only).
+GUARDED_MUTATORS: dict[str, frozenset[str | None]] = {
+    "ingest_batch": frozenset({"ShardState", None}),
+    "ingest_open_episode": frozenset({"ShardState", None}),
+    "extend_open_episode": frozenset({"ShardState", None}),
+    "close_open_episode": frozenset({"ShardState", None}),
+    "append_record": frozenset({"ARTree", None}),
+    "patch_tail": frozenset({"ARTree", None}),
+    # Common names: only guarded when the receiver provably is the table.
+    "append": frozenset({"LiveTrackingTable"}),
+    "extend_episode": frozenset({"LiveTrackingTable"}),
+    "close_episode": frozenset({"LiveTrackingTable"}),
+}
+
+
+class ShardSafetyChecker(Checker):
+    name = "shard-safety"
+    description = (
+        "ShardState / AR-tree / cache internals are mutated only from the "
+        "coordinator/engine ingest seam, and no executor-submitted "
+        "callable mutates captured coordinator state"
+    )
+    paper_ref = (
+        "Definition 2's per-object flow decomposition: the sharded "
+        "Φ(p) = Σ_o φ(o) merge is bit-identical to the monolith only "
+        "while partition routing, generation counters and cache epochs "
+        "move in lockstep (PR 6 scale-out contract)"
+    )
+
+    def check(
+        self, model: ProjectModel, graph: CallGraph, *, report_all: bool = False
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        diagnostics.extend(self._check_writes(model, graph, report_all))
+        diagnostics.extend(self._check_mutator_calls(model, graph, report_all))
+        diagnostics.extend(self._check_fork_divergence(model, graph, report_all))
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    # Seam membership
+    # ------------------------------------------------------------------
+
+    def _in_seam(self, model: ProjectModel, qualname: str) -> bool:
+        function = model.functions.get(qualname)
+        if function is None:
+            # Module-level scope: seam modules only.
+            module = qualname.rsplit(".", 1)[0]
+            return module in SEAM_MODULES
+        if function.module in SEAM_MODULES:
+            return True
+        if function.name in SEAM_FUNCTIONS:
+            return True
+        cls = function.cls
+        if cls is not None and cls.rsplit(".", 1)[-1] in SEAM_CLASSES:
+            return True
+        # Nested functions inherit their parent's seam membership.
+        parent = qualname.rsplit(".", 1)[0]
+        if parent in model.functions:
+            return self._in_seam(model, parent)
+        return False
+
+    # ------------------------------------------------------------------
+    # 1. External attribute writes
+    # ------------------------------------------------------------------
+
+    def _check_writes(
+        self, model: ProjectModel, graph: CallGraph, report_all: bool
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for write in model.attribute_writes:
+            module = model.modules.get(write.module)
+            if module is None or not self.reportable(
+                module.path, report_all=report_all
+            ):
+                continue
+            function = model.functions.get(write.function)
+            if function is None:
+                continue
+            # `self.x = ...` inside the guarded class is the implementation.
+            receiver_cls: str | None = None
+            if write.obj == "self":
+                if function.cls is not None:
+                    receiver_cls = function.cls.rsplit(".", 1)[-1]
+                if receiver_cls in GUARDED_CLASSES:
+                    continue
+            else:
+                inferred = graph.infer_type(function, write.value_node)
+                if inferred is not None:
+                    receiver_cls = inferred.rsplit(".", 1)[-1]
+            if receiver_cls not in GUARDED_CLASSES:
+                continue
+            if self._in_seam(model, write.function):
+                continue
+            diagnostics.append(
+                self.diagnostic(
+                    module.path,
+                    None,
+                    f"attribute write {write.obj}.{write.attr} mutates "
+                    f"{receiver_cls} state outside the coordinator/engine "
+                    "ingest seam; route mutations through the engine facade "
+                    "so partitioning, generation and cache epochs stay "
+                    "coherent",
+                    line=write.line,
+                    col=write.col,
+                )
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    # 2. Guarded mutator calls outside the seam
+    # ------------------------------------------------------------------
+
+    def _guarded_site(self, site: CallSite) -> str | None:
+        """The guarded receiver class for ``site``, or ``None``."""
+        allowed = GUARDED_MUTATORS.get(site.name)
+        if allowed is None:
+            return None
+        receiver_cls: str | None = None
+        if site.receiver_type is not None:
+            receiver_cls = site.receiver_type.rsplit(".", 1)[-1]
+        if receiver_cls is not None:
+            return receiver_cls if receiver_cls in allowed else None
+        return site.name if None in allowed else None
+
+    def _check_mutator_calls(
+        self, model: ProjectModel, graph: CallGraph, report_all: bool
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for site in graph.sites:
+            guarded = self._guarded_site(site)
+            if guarded is None:
+                continue
+            module = model.modules.get(site.module)
+            if module is None or not self.reportable(
+                module.path, report_all=report_all
+            ):
+                continue
+            if self._in_seam(model, site.caller):
+                continue
+            receiver = site.receiver or "<expr>"
+            diagnostics.append(
+                self.diagnostic(
+                    module.path,
+                    site.node,
+                    f"{receiver}.{site.name}() mutates shard-owned state "
+                    "outside the coordinator/engine ingest seam; use "
+                    "FlowEngine.ingest()/ShardedFlowEngine.ingest() (or the "
+                    "open-episode facade methods) instead",
+                )
+            )
+        return diagnostics
+
+    # ------------------------------------------------------------------
+    # 3. Fork divergence
+    # ------------------------------------------------------------------
+
+    def _check_fork_divergence(
+        self, model: ProjectModel, graph: CallGraph, report_all: bool
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for function in list(model.functions.values()):
+            module = model.modules.get(function.module)
+            if module is None or not self.reportable(
+                module.path, report_all=report_all
+            ):
+                continue
+            bound = _bound_names(function.node)
+            for node in ast.walk(function.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                if not self._is_submission(node):
+                    continue
+                for submitted in self._submitted_callables(node):
+                    diagnostics.extend(
+                        self._check_submitted(
+                            model, module.path, function, submitted, bound
+                        )
+                    )
+        return diagnostics
+
+    @staticmethod
+    def _is_submission(call: ast.Call) -> bool:
+        """Whether ``call`` hands work to an executor or worker process."""
+        func = call.func
+        if isinstance(func, ast.Attribute) and func.attr in ("run", "submit"):
+            receiver = func.value
+            text = ""
+            if isinstance(receiver, ast.Name):
+                text = receiver.id
+            elif isinstance(receiver, ast.Attribute):
+                text = receiver.attr
+            return "executor" in text.lower() or "pool" in text.lower()
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        return name == "Process" and any(
+            keyword.arg == "target" for keyword in call.keywords
+        )
+
+    def _submitted_callables(
+        self, call: ast.Call
+    ) -> list[ast.Lambda | ast.expr]:
+        """Lambda / local-function arguments of a submission call."""
+        candidates: list[ast.expr] = []
+        for arg in call.args:
+            if isinstance(arg, (ast.List, ast.Tuple)):
+                candidates.extend(arg.elts)
+            else:
+                candidates.append(arg)
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                candidates.append(keyword.value)
+        return [
+            candidate
+            for candidate in candidates
+            if isinstance(candidate, (ast.Lambda, ast.Name))
+        ]
+
+    def _check_submitted(
+        self,
+        model: ProjectModel,
+        path: str,
+        function: FunctionInfo,
+        submitted: ast.expr,
+        enclosing_bound: frozenset[str],
+    ) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        if isinstance(submitted, ast.Lambda):
+            body_writes = _closure_mutations(submitted, enclosing_bound)
+            for line, col, detail in body_writes:
+                diagnostics.append(
+                    self.diagnostic(
+                        path,
+                        None,
+                        "fork-divergence: executor-submitted lambda "
+                        f"mutates captured state ({detail}); a forked "
+                        "worker's write lands in the child process and the "
+                        "coordinator's copy silently diverges",
+                        line=line,
+                        col=col,
+                    )
+                )
+            return diagnostics
+        if isinstance(submitted, ast.Name):
+            nested = model.functions.get(f"{function.qualname}.{submitted.id}")
+            if nested is None:
+                # Module-level target functions capture nothing.
+                return diagnostics
+            body_writes = _closure_mutations(nested.node, enclosing_bound)
+            for line, col, detail in body_writes:
+                diagnostics.append(
+                    self.diagnostic(
+                        path,
+                        None,
+                        "fork-divergence: executor-submitted closure "
+                        f"{submitted.id!r} mutates captured state ({detail}); "
+                        "a forked worker's write lands in the child process "
+                        "and the coordinator's copy silently diverges",
+                        line=line,
+                        col=col,
+                    )
+                )
+        return diagnostics
+
+
+def _bound_names(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> frozenset[str]:
+    """Parameter and locally-assigned names of ``node``."""
+    bound: set[str] = set()
+    args = node.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        bound.add(arg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            bound.add(sub.id)
+    return frozenset(bound)
+
+
+def _callable_bound(node: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef) -> frozenset[str]:
+    bound: set[str] = set()
+    args = node.args
+    for arg in [
+        *args.posonlyargs,
+        *args.args,
+        *args.kwonlyargs,
+        *([args.vararg] if args.vararg else []),
+        *([args.kwarg] if args.kwarg else []),
+    ]:
+        bound.add(arg.arg)
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Store):
+            bound.add(sub.id)
+    return frozenset(bound)
+
+
+def _root_name(expr: ast.expr) -> str | None:
+    """The leftmost name of an attribute/subscript chain."""
+    current = expr
+    while isinstance(current, (ast.Attribute, ast.Subscript)):
+        current = current.value
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _closure_mutations(
+    node: ast.Lambda | ast.FunctionDef | ast.AsyncFunctionDef,
+    enclosing_bound: frozenset[str],
+) -> list[tuple[int, int, str]]:
+    """(line, col, detail) for each mutation of captured state in ``node``.
+
+    A mutation counts when its receiver's root name is *free* in the
+    submitted callable but *bound* in the submitting function (a genuine
+    capture), or is ``self``.
+    """
+    own_bound = _callable_bound(node)
+    findings: list[tuple[int, int, str]] = []
+
+    def captured(root: str | None) -> bool:
+        if root is None:
+            return False
+        if root in own_bound:
+            return False
+        return root == "self" or root in enclosing_bound
+
+    body = node.body if isinstance(node.body, list) else [node.body]
+    for stmt in body:
+        for sub in ast.walk(stmt):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets
+                    if isinstance(sub, ast.Assign)
+                    else [sub.target]
+                )
+                for target in targets:
+                    if isinstance(
+                        target, (ast.Attribute, ast.Subscript)
+                    ) and captured(_root_name(target)):
+                        findings.append(
+                            (
+                                sub.lineno,
+                                sub.col_offset,
+                                f"write to {ast.unparse(target)}",
+                            )
+                        )
+            elif isinstance(sub, ast.Call):
+                func = sub.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in GUARDED_MUTATORS
+                    and captured(_root_name(func.value))
+                ):
+                    findings.append(
+                        (
+                            sub.lineno,
+                            sub.col_offset,
+                            f"call {ast.unparse(func)}()",
+                        )
+                    )
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id == "setattr"
+                    and sub.args
+                    and captured(_root_name(sub.args[0]))
+                ):
+                    findings.append(
+                        (
+                            sub.lineno,
+                            sub.col_offset,
+                            f"setattr on {ast.unparse(sub.args[0])}",
+                        )
+                    )
+    return findings

@@ -5,7 +5,10 @@ regions must be built through :class:`~repro.core.context.EvaluationContext`
 or that benchmark hot paths may not read wall clocks.  This module provides
 the small framework — diagnostics, suppression comments, file walking and
 the CLI — while the rules themselves live in :mod:`repro.analysis.rules`,
-each documenting the paper invariant it protects.
+each documenting the paper invariant it protects.  The whole-program
+checkers (:mod:`repro.analysis.checkers`) emit the same
+:class:`Diagnostic` objects and share the suppression machinery; they are
+orchestrated by :mod:`repro.analysis.driver`.
 
 Suppressions
 ------------
@@ -18,20 +21,31 @@ the flagged line or on the line directly above it::
     # repro: allow(float-equality): sentinel comparison, value is exact
     if marker == 1.0:
 
+Several rules can be named in one pragma, comma separated — the
+justification after the closing parenthesis then applies to each of
+them — and one comment may carry several pragmas, each with its own
+justification::
+
+    # repro: allow(context-bypass, cache-coherence): rebuild path, generation bumped by caller
+    # repro: allow(determinism): int-only sum  # repro: allow(wall-clock): cold path
+
 A whole file opts out of one rule with a file-level pragma anywhere in the
 file (used by unit tests that exist to exercise a low-level API)::
 
     # repro: allow-file(context-bypass): this file tests snapshot_region itself
 
-Several rules can be named at once, comma separated.  Pragmas should carry
-a justification after a colon; the linter does not parse it, reviewers do.
+Justifications are parsed and kept (``Suppressions.justification_for``)
+so tools and reviewers can audit them; an empty justification is legal
+but frowned upon.
 
 Usage
 -----
 
 ``python -m repro.analysis [paths ...]`` lints the given files/directories
 (defaulting to ``src`` and ``tests``) and exits non-zero when any
-diagnostic survives suppression.
+diagnostic survives suppression.  ``--check-all`` additionally runs the
+whole-program checkers; see ``--help`` for baselines, output formats,
+caching, ``--jobs`` and ``--profile``.
 """
 
 from __future__ import annotations
@@ -44,14 +58,25 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, Sequence
 
+from .program import iter_python_files, parse_files
+
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids an import cycle:
     # rules import the Rule base class from this module)
     from .rules import Rule
 
-__all__ = ["Diagnostic", "LintReport", "lint_file", "lint_paths", "main"]
+__all__ = [
+    "Diagnostic",
+    "LintReport",
+    "Suppressions",
+    "lint_file",
+    "lint_paths",
+    "main",
+    "parse_suppressions",
+]
 
 #: ``# repro: allow(rule-a, rule-b)`` / ``# repro: allow-file(rule)``;
-#: anything after a closing parenthesis (the justification) is free text.
+#: the justification is the ``: free text`` after the closing parenthesis,
+#: running until the next pragma on the same line (if any).
 _PRAGMA = re.compile(r"#\s*repro:\s*allow(?P<scope>-file)?\(\s*(?P<rules>[^)]*)\)")
 
 
@@ -66,6 +91,7 @@ class Diagnostic:
     message: str
 
     def format(self) -> str:
+        """``path:line:col: [rule] message`` — the text output line."""
         return f"{self.path}:{self.line}:{self.column}: [{self.rule}] {self.message}"
 
 
@@ -84,12 +110,19 @@ class LintReport:
         return not self.diagnostics and not self.errors
 
 
+#: File-wide suppressions are recorded under this pseudo line number.
+FILE_WIDE_LINE = 0
+
+
 @dataclass(frozen=True, slots=True)
-class _Suppressions:
+class Suppressions:
     """Parsed pragma comments of one file."""
 
     by_line: dict[int, frozenset[str]]
     file_wide: frozenset[str]
+    justifications: dict[tuple[int, str], str]
+    """(line, rule) -> justification text ('' when none was written);
+    file-wide pragmas use line :data:`FILE_WIDE_LINE`."""
 
     def covers(self, diagnostic: Diagnostic) -> bool:
         if diagnostic.rule in self.file_wide:
@@ -99,40 +132,106 @@ class _Suppressions:
                 return True
         return False
 
+    def justification_for(self, diagnostic: Diagnostic) -> str | None:
+        """The pragma justification covering ``diagnostic``, if covered."""
+        for line in (diagnostic.line, diagnostic.line - 1):
+            if diagnostic.rule in self.by_line.get(line, frozenset()):
+                return self.justifications.get((line, diagnostic.rule), "")
+        if diagnostic.rule in self.file_wide:
+            return self.justifications.get(
+                (FILE_WIDE_LINE, diagnostic.rule), ""
+            )
+        return None
 
-def _parse_suppressions(source: str) -> _Suppressions:
+
+def parse_suppressions(source: str) -> Suppressions:
+    """Parse every ``# repro: allow...`` pragma in ``source``.
+
+    Handles several comma-separated rules per pragma (the trailing
+    justification applies to each) and several pragmas per line (each
+    keeps its own justification, running up to the next pragma).
+    """
     by_line: dict[int, frozenset[str]] = {}
     file_wide: set[str] = set()
+    justifications: dict[tuple[int, str], str] = {}
     for lineno, text in enumerate(source.splitlines(), start=1):
-        match = _PRAGMA.search(text)
-        if match is None:
-            continue
-        names = frozenset(
-            name.strip() for name in match.group("rules").split(",") if name.strip()
-        )
-        if match.group("scope"):
-            file_wide.update(names)
-        else:
-            by_line[lineno] = by_line.get(lineno, frozenset()) | names
-    return _Suppressions(by_line=by_line, file_wide=frozenset(file_wide))
+        matches = list(_PRAGMA.finditer(text))
+        for index, match in enumerate(matches):
+            names = [
+                name.strip()
+                for name in match.group("rules").split(",")
+                if name.strip()
+            ]
+            if not names:
+                continue
+            end = (
+                matches[index + 1].start()
+                if index + 1 < len(matches)
+                else len(text)
+            )
+            trailer = text[match.end() : end].strip()
+            justification = (
+                trailer[1:].strip() if trailer.startswith(":") else ""
+            )
+            if match.group("scope"):
+                file_wide.update(names)
+                for name in names:
+                    justifications.setdefault(
+                        (FILE_WIDE_LINE, name), justification
+                    )
+            else:
+                by_line[lineno] = by_line.get(lineno, frozenset()) | frozenset(
+                    names
+                )
+                for name in names:
+                    justifications[(lineno, name)] = justification
+    return Suppressions(
+        by_line=by_line,
+        file_wide=frozenset(file_wide),
+        justifications=justifications,
+    )
+
+
+# Backward-compatible aliases (pre-v2 private names).
+_Suppressions = Suppressions
+_parse_suppressions = parse_suppressions
 
 
 def lint_file(
-    path: Path, rules: Sequence["Rule"], report: LintReport
+    path: Path,
+    rules: Sequence["Rule"],
+    report: LintReport,
+    *,
+    preparsed: tuple[str, ast.Module] | None = None,
 ) -> None:
-    """Lint one file into ``report``."""
-    try:
-        source = path.read_text(encoding="utf-8")
-        tree = ast.parse(source, filename=str(path))
-    except (OSError, SyntaxError, ValueError) as exc:
-        report.errors.append(f"{path}: {exc}")
-        return
+    """Lint one file into ``report``.
+
+    Args:
+        path: The file to lint.
+        rules: The rules to run.
+        report: Receives diagnostics/suppression counts/errors.
+        preparsed: Optional ``(source, tree)`` from a parallel parse
+            stage, to avoid re-reading and re-parsing.
+    """
+    from repro.obs import span
+
+    if preparsed is not None:
+        source, tree = preparsed
+    else:
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (OSError, SyntaxError, ValueError) as exc:
+            report.errors.append(f"{path}: {exc}")
+            return
     report.files_checked += 1
-    suppressions = _parse_suppressions(source)
+    suppressions = parse_suppressions(source)
     for rule in rules:
         if not rule.applies_to(path):
             continue
-        for diagnostic in rule.check(tree, str(path)):
+        with span(f"analysis.rule.{rule.name}"):
+            found = rule.check(tree, str(path))
+        for diagnostic in found:
             if suppressions.covers(diagnostic):
                 report.suppressed += 1
             else:
@@ -140,31 +239,38 @@ def lint_file(
 
 
 def _iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
-    for path in paths:
-        if path.is_dir():
-            yield from sorted(
-                candidate
-                for candidate in path.rglob("*.py")
-                if "__pycache__" not in candidate.parts
-            )
-        else:
-            yield path
+    # Shared walker: skips __pycache__ and the seeded-violation fixture
+    # trees under tests/analysis/fixtures (they exist to be flagged).
+    yield from iter_python_files(paths)
 
 
 def lint_paths(
-    paths: Sequence[Path | str], rules: Sequence["Rule"] | None = None
+    paths: Sequence[Path | str],
+    rules: Sequence["Rule"] | None = None,
+    *,
+    jobs: int = 1,
 ) -> LintReport:
     """Lint files and directories (recursively) with ``rules``.
 
-    ``rules=None`` uses :data:`repro.analysis.rules.ALL_RULES`.
+    ``rules=None`` uses :data:`repro.analysis.rules.ALL_RULES`.  With
+    ``jobs > 1`` files are parsed by a forked worker pool first (the
+    AST walk itself stays in-process — parsing dominates).
     """
     if rules is None:
         from .rules import ALL_RULES
 
         rules = ALL_RULES
     report = LintReport()
-    for path in _iter_python_files(Path(p) for p in paths):
-        lint_file(path, rules, report)
+    files = list(_iter_python_files(Path(p) for p in paths))
+    if jobs > 1:
+        parsed = parse_files(files, jobs=jobs, errors=report.errors)
+        for path_str, source, tree in parsed:
+            lint_file(
+                Path(path_str), rules, report, preparsed=(source, tree)
+            )
+    else:
+        for path in files:
+            lint_file(path, rules, report)
     report.diagnostics.sort(key=lambda d: (d.path, d.line, d.column, d.rule))
     return report
 
@@ -175,7 +281,11 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Paper-invariant static checks for the repro codebase.",
+        description=(
+            "Paper-invariant static checks for the repro codebase: "
+            "per-file rules, plus whole-program shard-safety / "
+            "cache-coherence / determinism checkers (--check-all)."
+        ),
     )
     parser.add_argument(
         "paths",
@@ -188,22 +298,102 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="append",
         default=None,
         metavar="NAME",
-        help="run only the named rule (repeatable)",
+        help="run only the named per-file rule (repeatable)",
+    )
+    parser.add_argument(
+        "--checker",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help=(
+            "run only the named whole-program checker (repeatable; "
+            "implies the checker pass)"
+        ),
+    )
+    parser.add_argument(
+        "--check-all",
+        action="store_true",
+        help="run the per-file rules AND the whole-program checkers",
     )
     parser.add_argument(
         "--list-rules",
         action="store_true",
-        help="list the available rules and exit",
+        help="list the available per-file rules and exit",
+    )
+    parser.add_argument(
+        "--list-checkers",
+        action="store_true",
+        help="list the available whole-program checkers and exit",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="output format for findings (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help="subtract grandfathered findings recorded in this file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="PATH",
+        default=None,
+        help="write the surviving findings to PATH as a baseline and exit 0",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="parse files with N forked workers (default: 1)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="report per-rule / per-checker wall time via repro.obs spans",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the analysis result cache",
+    )
+    parser.add_argument(
+        "--cache-path",
+        metavar="PATH",
+        default=None,
+        help="analysis cache location (default: .repro-analysis-cache.json)",
+    )
+    parser.add_argument(
+        "--report-tests",
+        action="store_true",
+        help=(
+            "report checker findings in tests/benchmarks/examples too "
+            "(skipped by default — tests exercise seams on purpose)"
+        ),
     )
     args = parser.parse_args(argv)
 
     registry = rules_by_name()
-    if args.list_rules:
-        for name in sorted(registry):
-            rule = registry[name]
-            print(f"{name:20s} {rule.description}")
-            if rule.paper_ref:
-                print(f"{'':20s} protects: {rule.paper_ref}")
+    from .checkers import checkers_by_name
+
+    checker_registry = checkers_by_name()
+
+    if args.list_rules or args.list_checkers:
+        if args.list_rules:
+            for name in sorted(registry):
+                rule = registry[name]
+                print(f"{name:20s} {rule.description}")
+                if rule.paper_ref:
+                    print(f"{'':20s} protects: {rule.paper_ref}")
+        if args.list_checkers:
+            for name in sorted(checker_registry):
+                checker = checker_registry[name]
+                print(f"{name:20s} {checker.description}")
+                if checker.paper_ref:
+                    print(f"{'':20s} protects: {checker.paper_ref}")
         return 0
 
     if args.rule:
@@ -216,19 +406,25 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         rules = ALL_RULES
 
+    checkers = None
+    if args.checker:
+        unknown = [
+            name for name in args.checker if name not in checker_registry
+        ]
+        if unknown:
+            print(f"unknown checker(s): {', '.join(unknown)}", file=sys.stderr)
+            print(
+                f"available: {', '.join(sorted(checker_registry))}",
+                file=sys.stderr,
+            )
+            return 2
+        checkers = [checker_registry[name] for name in args.checker]
+
     missing = [path for path in args.paths if not Path(path).exists()]
     if missing:
         print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    report = lint_paths(args.paths, rules)
-    for diagnostic in report.diagnostics:
-        print(diagnostic.format())
-    for error in report.errors:
-        print(f"error: {error}", file=sys.stderr)
-    summary = (
-        f"{len(report.diagnostics)} finding(s), {report.suppressed} suppressed, "
-        f"{report.files_checked} file(s) checked"
-    )
-    print(summary, file=sys.stderr)
-    return 0 if report.ok else 1
+    from .driver import run_cli
+
+    return run_cli(args, rules=rules, checkers=checkers)

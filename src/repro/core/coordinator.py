@@ -225,15 +225,43 @@ class ForkedProcessExecutor:
         if self._closed:
             raise RuntimeError("executor is closed")
         for index, method, args, kwargs in calls:
-            self._connections[index].send((method, args, kwargs))
-        responses = [self._connections[index].recv() for index, _, _, _ in calls]
+            try:
+                self._connections[index].send((method, args, kwargs))
+            except (BrokenPipeError, OSError) as exc:
+                raise self._worker_failure(index, exc) from exc
+        responses = []
+        for index, _, _, _ in calls:
+            try:
+                responses.append(self._connections[index].recv())
+            except (EOFError, OSError) as exc:
+                raise self._worker_failure(index, exc) from exc
         for ok, payload in responses:
             if not ok:
                 raise payload
         return [payload for _, payload in responses]
 
+    def _worker_failure(self, index: int, exc: BaseException) -> RuntimeError:
+        """A descriptive error for a worker that died mid-batch.
+
+        The pipe raising ``EOFError``/``BrokenPipeError`` means the
+        worker process itself is gone (killed, OOM, hard crash) — there
+        is no original exception to surface, so name the worker and its
+        exit code instead.
+        """
+        process = self._processes[index]
+        process.join(timeout=1.0)
+        return RuntimeError(
+            f"shard worker {index} died mid-batch "
+            f"(exit code {process.exitcode}): {exc!r}"
+        )
+
     def close(self) -> None:
-        """Send every worker the shutdown sentinel and join it."""
+        """Send every worker the shutdown sentinel and join it.
+
+        Workers that ignore the sentinel (wedged, or already broken) are
+        terminated after the join timeout, so close() never leaves a
+        zombie behind.
+        """
         if self._closed:
             return
         self._closed = True
@@ -244,6 +272,9 @@ class ForkedProcessExecutor:
                 pass
         for process in self._processes:
             process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - wedged worker
+                process.terminate()
+                process.join(timeout=1.0)
         for connection in self._connections:
             connection.close()
 

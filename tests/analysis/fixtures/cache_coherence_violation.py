@@ -1,0 +1,45 @@
+"""Seeded cache-coherence violations (fixture — never imported by tests)."""
+
+from __future__ import annotations
+
+
+class ARTree:
+    def append_record(self, record: object) -> None:
+        pass
+
+    def patch_tail(self, record: object) -> None:
+        pass
+
+
+class EvaluationContext:
+    def __init__(self) -> None:
+        self.data_generation = 0
+
+    def note_append(self, object_id: object) -> None:
+        self.data_generation += 1
+
+
+class Store:
+    def __init__(self) -> None:
+        self.artree = ARTree()
+        self.ctx = EvaluationContext()
+
+    def good_append(self, record: object) -> None:
+        self.artree.append_record(record)
+        self.ctx.note_append(record)
+
+    def good_via_helper(self, record: object) -> None:
+        self.artree.append_record(record)
+        self._bump(record)
+
+    def _bump(self, record: object) -> None:
+        self.ctx.note_append(record)
+
+    def bad_append(self, record: object) -> None:
+        # VIOLATION(cache-coherence): mutates tracked state, never
+        # bumps the generation counter.
+        self.artree.append_record(record)
+
+    def bad_patch(self, record: object) -> None:
+        # VIOLATION(cache-coherence): same, for tail patching.
+        self.artree.patch_tail(record)

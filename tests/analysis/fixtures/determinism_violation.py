@@ -1,0 +1,53 @@
+"""Seeded determinism violations (fixture — never imported by tests)."""
+
+from __future__ import annotations
+
+
+def bad_loop_total(values: set) -> float:
+    total = 0.0
+    # VIOLATION(determinism): set iteration feeding float accumulation.
+    for value in values:
+        total = total + value
+    return total
+
+
+def bad_augmented(weights: frozenset) -> float:
+    total = 0.0
+    for weight in weights:
+        total += weight * 0.5
+    return total
+
+
+def bad_sum(weights: frozenset) -> float:
+    # VIOLATION(determinism): sum() over an unordered generator.
+    return sum(weight * 2.0 for weight in weights)
+
+
+def bad_dict_from_set(keys: set) -> float:
+    flows = {key: 0.0 for key in keys}
+    total = 0.0
+    for _, value in flows.items():
+        total += value
+    return total
+
+
+def good_sorted_total(values: set) -> float:
+    total = 0.0
+    for value in sorted(values):
+        total = total + value
+    return total
+
+
+def good_counter(values: set) -> int:
+    count = 0
+    for _value in values:
+        count += 1
+    return count
+
+
+def good_insertion_dict(records: list) -> float:
+    flows = {record: 1.0 for record in records}
+    total = 0.0
+    for value in flows.values():
+        total += value
+    return total

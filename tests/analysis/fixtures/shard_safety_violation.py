@@ -1,0 +1,40 @@
+"""Seeded shard-safety violations (fixture — never imported by tests).
+
+Models the coordinator shapes with local stand-ins so the checker's
+name-based guards fire without importing repro.core.
+"""
+
+from __future__ import annotations
+
+
+class ShardState:
+    def __init__(self) -> None:
+        self.generation = 0
+        self.artree = object()
+
+    def ingest_batch(self, records: list) -> None:
+        self.generation += 1
+
+
+class ForkedProcessExecutor:
+    def run(self, calls: list) -> list:
+        return [call() for call in calls]
+
+
+def rebuild_index(shard: ShardState) -> None:
+    # VIOLATION(shard-safety): external attribute write to ShardState.
+    shard.artree = object()
+
+
+def sneak_ingest(shard: ShardState, records: list) -> None:
+    # VIOLATION(shard-safety): guarded mutator call outside the seam.
+    shard.ingest_batch(records)
+
+
+def fan_out(executor: ForkedProcessExecutor, shard: ShardState) -> None:
+    def worker() -> None:
+        # VIOLATION(shard-safety): fork-divergence — the submitted
+        # closure mutates captured coordinator-owned state.
+        shard.ingest_batch([])
+
+    executor.run([worker])

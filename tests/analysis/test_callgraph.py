@@ -1,0 +1,152 @@
+"""The approximate call graph: resolution, typing, reachability."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.program import ProjectModel
+
+
+def build(tmp_path: Path, files: dict[str, str]) -> CallGraph:
+    for relative, source in files.items():
+        target = tmp_path / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return CallGraph.build(ProjectModel.build([tmp_path]))
+
+
+TREE = {
+    "app/__init__.py": "",
+    "app/table.py": (
+        "class Table:\n"
+        "    def append(self, row: object) -> None:\n"
+        "        pass\n"
+        "\n"
+        "    @classmethod\n"
+        "    def build(cls) -> 'Table':\n"
+        "        return cls()\n"
+    ),
+    "app/engine.py": (
+        "from .table import Table\n"
+        "\n"
+        "class Engine:\n"
+        "    def __init__(self) -> None:\n"
+        "        self.table = Table()\n"
+        "\n"
+        "    @property\n"
+        "    def view(self) -> Table:\n"
+        "        return self.table\n"
+        "\n"
+        "    def _pick(self) -> Table:\n"
+        "        return self.table\n"
+        "\n"
+        "    def ingest(self, row: object) -> None:\n"
+        "        self.table.append(row)\n"
+        "\n"
+        "    def ingest_via_helper(self, row: object) -> None:\n"
+        "        chosen = self._pick()\n"
+        "        chosen.append(row)\n"
+        "\n"
+        "def drive(engine: Engine) -> None:\n"
+        "    engine.ingest(object())\n"
+        "\n"
+        "def outer() -> None:\n"
+        "    drive(Engine())\n"
+        "\n"
+        "def from_classmethod() -> None:\n"
+        "    t = Table.build()\n"
+        "    t.append(object())\n"
+    ),
+}
+
+
+@pytest.fixture()
+def graph(tmp_path):
+    return build(tmp_path, TREE)
+
+
+def sites_of(graph: CallGraph, caller: str):
+    return {
+        (site.name, site.receiver_type)
+        for site in graph.sites_by_caller.get(caller, [])
+    }
+
+
+class TestTypeInference:
+    def test_typed_self_attribute(self, graph):
+        assert (
+            "append",
+            "app.table.Table",
+        ) in sites_of(graph, "app.engine.Engine.ingest")
+
+    def test_annotated_helper_return(self, graph):
+        # chosen = self._pick() picks up the -> Table annotation.
+        assert (
+            "append",
+            "app.table.Table",
+        ) in sites_of(graph, "app.engine.Engine.ingest_via_helper")
+
+    def test_classmethod_constructor_local(self, graph):
+        assert (
+            "append",
+            "app.table.Table",
+        ) in sites_of(graph, "app.engine.from_classmethod")
+
+    def test_annotated_parameter(self, graph):
+        assert (
+            "ingest",
+            "app.engine.Engine",
+        ) in sites_of(graph, "app.engine.drive")
+
+
+class TestEdges:
+    def test_confident_edges_connect_callers_to_methods(self, graph):
+        assert "app.table.Table.append" in graph.callees_of(
+            "app.engine.Engine.ingest"
+        )
+        assert "app.engine.Engine.ingest" in graph.callees_of(
+            "app.engine.drive"
+        )
+
+    def test_reverse_edges(self, graph):
+        assert "app.engine.drive" in graph.callers_of(
+            "app.engine.Engine.ingest"
+        )
+
+    def test_transitive_callers_stop_at_seam(self, graph):
+        reachers = graph.transitive_callers(["app.table.Table.append"])
+        assert "app.engine.drive" in reachers
+        assert "app.engine.outer" in reachers
+        # With the engine methods as the seam, exploration stops there.
+        bounded = graph.transitive_callers(
+            ["app.table.Table.append"],
+            stop=frozenset(
+                {
+                    "app.engine.Engine.ingest",
+                    "app.engine.Engine.ingest_via_helper",
+                    "app.engine.from_classmethod",
+                }
+            ),
+        )
+        assert "app.engine.drive" not in bounded
+
+    def test_low_confidence_fallback_creates_no_edges(self, tmp_path):
+        graph = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class A:\n"
+                    "    def hit(self) -> None: pass\n"
+                    "\n"
+                    "def f(x):\n"
+                    "    x.hit()\n"
+                )
+            },
+        )
+        (site,) = [s for s in graph.sites if s.name == "hit"]
+        assert not site.confident
+        assert site.candidates == ("m.A.hit",)
+        assert graph.callees_of("m.f") == frozenset()

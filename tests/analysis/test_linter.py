@@ -10,7 +10,8 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import LintReport, lint_paths, main
+from repro.analysis import Diagnostic, LintReport, lint_paths, main
+from repro.analysis.linter import FILE_WIDE_LINE, parse_suppressions
 from repro.analysis.rules import ALL_RULES, rules_by_name
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -326,6 +327,72 @@ class TestSuppressions:
             "ok = x == 0.0  # repro: allow(unseeded-rng): wrong rule\n",
         )
         assert rule_names(report) == ["float-equality"]
+
+    def test_two_pragmas_in_one_comment_both_apply(self, tmp_path):
+        # Regression: the parser used to stop at the first pragma of a
+        # line, silently dropping every later one.
+        report = lint_source(
+            tmp_path,
+            "import random\n"
+            "v = random.random() == 0.5  "
+            "# repro: allow(float-equality): exact  "
+            "# repro: allow(unseeded-rng): stub\n",
+        )
+        assert report.ok
+        assert report.suppressed == 2
+
+
+class TestPragmaParser:
+    def test_comma_separated_rules_share_the_justification(self):
+        parsed = parse_suppressions(
+            "x = 1  # repro: allow(rule-a, rule-b): one reason for both\n"
+        )
+        assert parsed.by_line[1] == frozenset({"rule-a", "rule-b"})
+        assert parsed.justifications[(1, "rule-a")] == "one reason for both"
+        assert parsed.justifications[(1, "rule-b")] == "one reason for both"
+
+    def test_multiple_pragmas_keep_their_own_justifications(self):
+        parsed = parse_suppressions(
+            "x = 1  # repro: allow(rule-a): reason a  "
+            "# repro: allow(rule-b): reason b\n"
+        )
+        assert parsed.by_line[1] == frozenset({"rule-a", "rule-b"})
+        assert parsed.justifications[(1, "rule-a")] == "reason a"
+        assert parsed.justifications[(1, "rule-b")] == "reason b"
+
+    def test_missing_justification_is_recorded_empty(self):
+        parsed = parse_suppressions("x = 1  # repro: allow(rule-a)\n")
+        assert parsed.by_line[1] == frozenset({"rule-a"})
+        assert parsed.justifications[(1, "rule-a")] == ""
+
+    def test_file_wide_justifications(self):
+        parsed = parse_suppressions(
+            "# repro: allow-file(rule-a): whole-file fixture\n"
+        )
+        assert parsed.file_wide == frozenset({"rule-a"})
+        assert (
+            parsed.justifications[(FILE_WIDE_LINE, "rule-a")]
+            == "whole-file fixture"
+        )
+
+    def test_justification_for_diagnostic(self):
+        parsed = parse_suppressions(
+            "# repro: allow(rule-a): documented reason\n" "x = 1\n"
+        )
+        covered = Diagnostic(
+            path="f.py", line=2, column=1, rule="rule-a", message="m"
+        )
+        uncovered = Diagnostic(
+            path="f.py", line=2, column=1, rule="rule-b", message="m"
+        )
+        assert parsed.covers(covered)
+        assert parsed.justification_for(covered) == "documented reason"
+        assert not parsed.covers(uncovered)
+        assert parsed.justification_for(uncovered) is None
+
+    def test_empty_rule_list_is_ignored(self):
+        parsed = parse_suppressions("x = 1  # repro: allow(): nothing\n")
+        assert parsed.by_line == {}
 
 
 # ----------------------------------------------------------------------

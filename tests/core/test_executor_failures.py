@@ -1,0 +1,115 @@
+"""ForkedProcessExecutor failure paths.
+
+The sharded engine's availability story depends on the coordinator
+surfacing worker failures loudly and cleaning up: an application-level
+exception inside a shard method must cross the pipe and re-raise as-is,
+a worker process dying mid-batch must become a descriptive
+``RuntimeError`` (there is no exception object to forward), and
+``close()`` must never leave zombie workers behind.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core.coordinator import ForkedProcessExecutor
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="ForkedProcessExecutor needs the POSIX fork start method",
+)
+
+
+class _StubShard:
+    """A minimal duck-typed shard for exercising the executor."""
+
+    def double(self, value: int) -> int:
+        return value * 2
+
+    def boom(self) -> None:
+        raise ValueError("kaput from worker")
+
+    def die(self) -> None:
+        # Hard crash: no exception crosses the pipe, the process is gone.
+        os._exit(17)
+
+
+def _assert_no_zombies(executor: ForkedProcessExecutor) -> None:
+    for process in executor._processes:
+        assert not process.is_alive()
+
+
+class TestWorkerRaises:
+    def test_original_exception_surfaces(self):
+        executor = ForkedProcessExecutor([_StubShard(), _StubShard()])
+        try:
+            with pytest.raises(ValueError, match="kaput from worker"):
+                executor.run(
+                    [(0, "double", (1,), {}), (1, "boom", (), {})]
+                )
+        finally:
+            executor.close()
+        _assert_no_zombies(executor)
+
+    def test_executor_survives_application_errors(self):
+        executor = ForkedProcessExecutor([_StubShard()])
+        try:
+            with pytest.raises(ValueError):
+                executor.run([(0, "boom", (), {})])
+            # The worker caught and forwarded the error; the pipe stays
+            # in sync and the executor remains usable.
+            assert executor.run([(0, "double", (21,), {})]) == [42]
+        finally:
+            executor.close()
+        _assert_no_zombies(executor)
+
+
+class TestWorkerDies:
+    def test_pipe_eof_becomes_descriptive_runtime_error(self):
+        executor = ForkedProcessExecutor([_StubShard()])
+        try:
+            with pytest.raises(
+                RuntimeError, match=r"worker 0 died mid-batch.*exit code 17"
+            ):
+                executor.run([(0, "die", (), {})])
+        finally:
+            executor.close()
+        _assert_no_zombies(executor)
+
+    def test_mid_batch_death_names_the_dead_worker(self):
+        executor = ForkedProcessExecutor([_StubShard(), _StubShard()])
+        try:
+            with pytest.raises(RuntimeError, match="worker 1 died mid-batch"):
+                executor.run(
+                    [(0, "double", (2,), {}), (1, "die", (), {})]
+                )
+        finally:
+            executor.close()
+        _assert_no_zombies(executor)
+
+    def test_send_to_dead_worker_raises(self):
+        executor = ForkedProcessExecutor([_StubShard()])
+        try:
+            with pytest.raises(RuntimeError):
+                executor.run([(0, "die", (), {})])
+            # The worker is gone: the next dispatch must fail loudly on
+            # the send side, not hang on recv.
+            with pytest.raises(RuntimeError, match="died mid-batch"):
+                executor.run([(0, "double", (1,), {})])
+        finally:
+            executor.close()
+        _assert_no_zombies(executor)
+
+
+class TestClose:
+    def test_close_is_idempotent_and_reaps_workers(self):
+        executor = ForkedProcessExecutor([_StubShard(), _StubShard()])
+        assert executor.run([(0, "double", (3,), {})]) == [6]
+        executor.close()
+        executor.close()
+        _assert_no_zombies(executor)
+        with pytest.raises(RuntimeError, match="closed"):
+            executor.run([(0, "double", (1,), {})])
