@@ -41,6 +41,7 @@ from repro.datagen.config import SyntheticConfig
 from repro.datagen.dataset import Dataset
 from repro.datagen.synthetic import build_synthetic_dataset
 from repro.obs.export import bench_baseline, write_baseline
+from repro.storage import SQLiteBackend
 from repro.tracking import LiveTrackingTable, ObjectTrackingTable
 from repro.tracking.records import TrackingRecord
 
@@ -56,6 +57,7 @@ BENCH_NAMES = (
     "query_matrix",
     "obs_overhead",
     "shard_scaling",
+    "storage",
 )
 
 SHARD_COUNTS = (1, 2, 4)
@@ -511,6 +513,117 @@ def bench_shard_scaling(dataset: Dataset, out_dir: Path, scale: float, repeats: 
 
 
 # ----------------------------------------------------------------------
+# Scenario: durable storage — append throughput, reopen paths
+# ----------------------------------------------------------------------
+
+
+def bench_storage(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    """SQLite write-through and the two recovery read shapes.
+
+    ``reopen_cold`` recovers from an **uncompacted** store: the snapshot
+    is empty, so every persisted mutation replays one by one through the
+    live ingest seam (table validation + AR-tree delta).  ``reopen_snapshot``
+    recovers from the same data after ``checkpoint()``: the bulk snapshot
+    feeds ``ARTree.build`` directly and only an empty tail replays — the
+    speedup between the two is what compaction buys a restart.
+    """
+    import tempfile
+
+    records = sorted(dataset.ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+    t = dataset.mid_time()
+    window = (t - WINDOW_SECONDS, t)
+
+    def attach(path: Path) -> FlowEngine:
+        return FlowEngine(
+            ott=ObjectTrackingTable(),
+            live=True,
+            storage=SQLiteBackend(path),
+            **_engine_kwargs(dataset),
+        )
+
+    with tempfile.TemporaryDirectory(prefix="bench-storage-") as tmp:
+        tmp_dir = Path(tmp)
+
+        # Append throughput: each repeat streams the full workload through
+        # the write-through path into a fresh store.
+        append_samples = []
+        for index in range(repeats):
+            engine = attach(tmp_dir / f"append-{index}.sqlite")
+            started = time.perf_counter()
+            engine.ingest(records)
+            append_samples.append((time.perf_counter() - started) * 1000.0)
+            engine.storage.close()
+        append_ms = statistics.median(append_samples)
+
+        # Two stores with identical contents: WAL-only vs. compacted.
+        cold_path = tmp_dir / "cold.sqlite"
+        engine = attach(cold_path)
+        engine.ingest(records)
+        engine.storage.close()
+
+        snapshot_path = tmp_dir / "compacted.sqlite"
+        engine = attach(snapshot_path)
+        engine.ingest(records)
+        started = time.perf_counter()
+        engine.checkpoint()
+        checkpoint_ms = (time.perf_counter() - started) * 1000.0
+        engine.storage.close()
+
+        reopen_cold_ms = median_ms(
+            lambda: attach(cold_path).storage.close(), repeats
+        )
+        reopen_snapshot_ms = median_ms(
+            lambda: attach(snapshot_path).storage.close(), repeats
+        )
+
+        recovered = attach(snapshot_path)
+        reference = FlowEngine(
+            ott=ObjectTrackingTable(records), **_engine_kwargs(dataset)
+        )
+        a = recovered.interval_topk(*window, K, method="join")
+        b = reference.interval_topk(*window, K, method="join")
+        identical = a.poi_ids == b.poi_ids and a.flows == b.flows
+        recovered.storage.close()
+
+        obs_path = tmp_dir / "instrumented.sqlite"
+
+        def instrumented_cycle() -> None:
+            writer = attach(obs_path)
+            writer.ingest(records)
+            writer.checkpoint()
+            writer.storage.close()
+            attach(obs_path).storage.close()
+
+        instrumented(instrumented_cycle)
+
+        return emit(
+            out_dir,
+            "storage",
+            scale,
+            params={
+                "backend": "sqlite",
+                "records": len(records),
+                "method": "join",
+                "k": K,
+                "window_seconds": WINDOW_SECONDS,
+            },
+            results={
+                "append_ms": round(append_ms, 3),
+                "append_rows_per_s": round(
+                    len(records) / max(append_ms / 1000.0, 1e-9), 1
+                ),
+                "checkpoint_ms": round(checkpoint_ms, 3),
+                "reopen_cold_ms": round(reopen_cold_ms, 3),
+                "reopen_snapshot_ms": round(reopen_snapshot_ms, 3),
+                "reopen_speedup": round(
+                    reopen_cold_ms / max(reopen_snapshot_ms, 1e-9), 2
+                ),
+                "results_identical": identical,
+            },
+        )
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -520,6 +633,7 @@ _SCENARIOS: dict[str, Callable[[Dataset, Path, float, int], Path]] = {
     "query_matrix": bench_query_matrix,
     "obs_overhead": bench_obs_overhead,
     "shard_scaling": bench_shard_scaling,
+    "storage": bench_storage,
 }
 
 

@@ -43,7 +43,15 @@ __all__ = ["ShardSafetyChecker"]
 #: Classes whose state is coordinator-owned (matched by bare name so the
 #: checker also works on fixture trees that model the shapes).
 GUARDED_CLASSES = frozenset(
-    {"ShardState", "ARTree", "LiveTrackingTable", "EvaluationContext", "LruCache"}
+    {
+        "ShardState",
+        "ARTree",
+        "LiveTrackingTable",
+        "EvaluationContext",
+        "LruCache",
+        "SQLiteBackend",
+        "MemoryBackend",
+    }
 )
 
 #: Facade classes allowed to drive shard mutations (the ingest seam).
@@ -61,6 +69,15 @@ SEAM_MODULES = frozenset(
         "repro.core.caching",
         "repro.index.artree",
         "repro.tracking.table",
+        # The storage package implements the backends; the CSV importer
+        # and the datagen --store CLI are producer seams that write to a
+        # store *before* any table exists (PR 8).
+        "repro.storage.base",
+        "repro.storage.memory",
+        "repro.storage.sqlite",
+        "repro.storage.env",
+        "repro.tracking.io",
+        "repro.datagen.__main__",
     }
 )
 
@@ -81,6 +98,10 @@ GUARDED_MUTATORS: dict[str, frozenset[str | None]] = {
     "append": frozenset({"LiveTrackingTable"}),
     "extend_episode": frozenset({"LiveTrackingTable"}),
     "close_episode": frozenset({"LiveTrackingTable"}),
+    # Storage-backend mutators (PR 8): a direct write desynchronises the
+    # durable generation counter from the table/index/cache lockstep.
+    "append_row": frozenset({"SQLiteBackend", "MemoryBackend", None}),
+    "rewrite_tail_row": frozenset({"SQLiteBackend", "MemoryBackend", None}),
 }
 
 

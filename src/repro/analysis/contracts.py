@@ -34,6 +34,7 @@ __all__ = [
     "check_flow",
     "check_presence",
     "check_region_fingerprint",
+    "check_storage_generation",
     "check_upper_bound",
     "contracts_enabled",
     "set_contracts",
@@ -168,4 +169,21 @@ def check_region_fingerprint(
         _fail(
             f"cached region MBR {cached_mbr!r} != fresh rebuild MBR "
             f"{fresh_mbr!r} (key {key!r})"
+        )
+
+
+def check_storage_generation(table_generation: int, backend_generation: int) -> None:
+    """PR 8 storage lockstep: the table and its backend agree on history.
+
+    Every live-table mutation is written through to the storage backend
+    before the in-memory structures move, each side bumping its own
+    monotonic generation counter.  After any persisted mutation (and
+    after a completed recovery) the two counters must be equal — a drift
+    means a write reached one side only, i.e. the durable store no longer
+    describes the table a crash would need to rebuild.
+    """
+    if contracts_enabled() and table_generation != backend_generation:
+        _fail(
+            f"live table generation {table_generation} != storage backend "
+            f"generation {backend_generation} (a mutation reached only one side)"
         )

@@ -16,6 +16,15 @@ cached trail episodes keep serving stale extrapolations.
 atomically, so direct ``.append_record(...)`` / ``.patch_tail(...)`` calls
 on an AR-tree outside the index/engine layers are flagged too.
 
+The storage seam (PR 8) closes the loop underneath: a
+:class:`~repro.storage.base.StorageBackend` mutated directly — a bare
+``.append_row(...)`` / ``.rewrite_tail_row(...)`` outside the live
+table's write-through path — desynchronises the durable generation
+counter from the table, the AR-tree delta and the cache epochs, so a
+later recovery replays history the in-memory layers never saw (or
+vice versa).  Producer seams that write *before* any table exists (the
+CSV importer, the datagen ``--store`` CLI) carry explicit suppressions.
+
 ``__init__.py`` re-exports are exempt (the names stay public for low-level
 use, e.g. ablation studies — which then carry an explicit suppression).
 """
@@ -75,6 +84,17 @@ _SHARD_MUTATOR_ALLOWED = (
     ("repro", "analysis"),
 )
 
+#: Storage-backend mutators owned by the live table's write-through path.
+_GUARDED_STORAGE_MUTATORS = frozenset({"append_row", "rewrite_tail_row"})
+
+#: Path fragments allowed to mutate storage backends directly: the
+#: storage package itself and the table that owns the write-through.
+_STORAGE_MUTATOR_ALLOWED = (
+    ("repro", "storage"),
+    ("tracking", "table.py"),
+    ("repro", "analysis"),
+)
+
 
 def _matches(path: Path, fragments: tuple[tuple[str, ...], ...]) -> bool:
     parts = path.parts
@@ -90,15 +110,18 @@ class ContextBypassRule(Rule):
     description = (
         "no direct snapshot_region()/interval_uncertainty() outside the "
         "EvaluationContext caching layer, no direct AR-tree "
-        "append_record()/patch_tail() outside the shard ingest path, and "
-        "no ShardState mutation outside the coordinator/engine seam"
+        "append_record()/patch_tail() outside the shard ingest path, "
+        "no ShardState mutation outside the coordinator/engine seam, and "
+        "no StorageBackend append_row()/rewrite_tail_row() outside the "
+        "live table's write-through path"
     )
     paper_ref = (
         "PR 1 cache coherence: memoized UR(o, t) / UR(o, [ts, te]) must be "
         "the only derivation path (Sections 3.1-3.2); PR 3 extends the "
         "invariant to live appends (Section 4.1 index maintenance); the "
         "sharded coordinator extends it to the object partition "
-        "(Definition 2's per-object flow decomposition)"
+        "(Definition 2's per-object flow decomposition); the storage seam "
+        "extends it to the durable generation counter recovery replays"
     )
 
     def applies_to(self, path: Path) -> bool:
@@ -112,6 +135,7 @@ class ContextBypassRule(Rule):
         check_builders = not _matches(source, _BUILDER_ALLOWED)
         check_mutators = not _matches(source, _MUTATOR_ALLOWED)
         check_shard_mutators = not _matches(source, _SHARD_MUTATOR_ALLOWED)
+        check_storage_mutators = not _matches(source, _STORAGE_MUTATOR_ALLOWED)
         is_reexport_module = source.name == "__init__.py"
         for node in ast.walk(tree):
             if (
@@ -185,6 +209,23 @@ class ContextBypassRule(Rule):
                             "through ShardedFlowEngine.ingest() (or the "
                             "engine facade) so partitioning and generation "
                             "stay coherent",
+                        )
+                    )
+                elif (
+                    check_storage_mutators
+                    and isinstance(func, ast.Attribute)
+                    and func.attr in _GUARDED_STORAGE_MUTATORS
+                ):
+                    diagnostics.append(
+                        self.diagnostic(
+                            path,
+                            node,
+                            f"direct .{func.attr}() writes to a storage "
+                            "backend behind the tracking table's back; "
+                            "ingest through LiveTrackingTable.append() / "
+                            "FlowEngine.ingest() so the durable generation "
+                            "counter, the index and the cache epochs stay "
+                            "in lockstep",
                         )
                     )
         return diagnostics

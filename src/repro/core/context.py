@@ -310,6 +310,28 @@ class EvaluationContext:
         self.data_generation += 1
         self._tail_epochs[object_id] = self._tail_epochs.get(object_id, 0) + 1
 
+    def sync_generation(self, generation: int) -> None:
+        """Fast-forward :attr:`data_generation` to a persisted counter.
+
+        Recovery seeds a fresh context from the storage backend's
+        snapshot generation, then replays the WAL tail through
+        :meth:`note_append` — so after restore the context's generation
+        equals the backend's persisted one, exactly as if the appends had
+        happened live in this process.
+
+        Args:
+            generation: The storage generation to adopt.
+
+        Raises:
+            ValueError: If the generation would move backwards.
+        """
+        if generation < self.data_generation:
+            raise ValueError(
+                f"data_generation cannot move backwards "
+                f"({generation} < {self.data_generation})"
+            )
+        self.data_generation = generation
+
     # ------------------------------------------------------------------
     # Region memo layer
     # ------------------------------------------------------------------

@@ -40,9 +40,12 @@ from __future__ import annotations
 import multiprocessing
 import zlib
 from multiprocessing.connection import Connection
+from pathlib import Path
 from typing import Any, Callable, Iterable, Protocol, Sequence
 
 from ..analysis.contracts import check_flow, contracts_enabled
+from ..storage.base import StorageBackend
+from ..storage.sqlite import sqlite_shard_stores
 from ..indoor.devices import Deployment
 from ..indoor.distance import IndoorDistanceOracle
 from ..indoor.floorplan import FloorPlan
@@ -311,6 +314,15 @@ class ShardedFlowEngine:
     executor:
         ``"serial"`` (default), ``"process"``, or a callable mapping the
         built shard list to an :class:`Executor`.
+    storage:
+        Per-shard durable stores: a directory (``str`` / ``Path``) that
+        gets one SQLite database per shard
+        (:func:`~repro.storage.sqlite.sqlite_shard_stores` layout), or a
+        ``shard_index -> StorageBackend`` factory.  Requires a live
+        fleet.  Pristine stores are seeded with each shard's partition;
+        populated ones recover it (``ott`` must then be empty and the
+        shard count must match the one the stores were written under —
+        the partition is the same ``crc32(object_id) % N``).
     """
 
     def __init__(
@@ -322,6 +334,7 @@ class ShardedFlowEngine:
         v_max: float,
         num_shards: int = 2,
         executor: str | Callable[[Sequence[ShardState]], Executor] = "serial",
+        storage: str | Path | Callable[[int], StorageBackend] | None = None,
         **engine_params: Any,
     ):
         if num_shards < 1:
@@ -347,6 +360,20 @@ class ShardedFlowEngine:
             # One shared oracle: the door-graph distances depend only on
             # the floor plan, not on the object partition.
             topology = TopologyChecker(IndoorDistanceOracle(floorplan))
+        stores: Callable[[int], StorageBackend] | None
+        if storage is None:
+            stores = None
+        else:
+            if not self._live:
+                raise ValueError(
+                    "per-shard storage needs a live fleet; pass live=True "
+                    "or a LiveTrackingTable"
+                )
+            stores = (
+                storage
+                if callable(storage)
+                else sqlite_shard_stores(storage)
+            )
         all_ids = ott.object_ids
         self._shards = [
             ShardState(
@@ -361,10 +388,27 @@ class ShardedFlowEngine:
                     if shard_of(object_id, num_shards) == index
                 ),
                 topology=topology,
+                storage=None if stores is None else stores(index),
                 **params,
             )
             for index in range(num_shards)
         ]
+        if stores is not None:
+            for index, shard in enumerate(self._shards):
+                for object_id in shard.ott.object_ids:
+                    owner = shard_of(object_id, num_shards)
+                    if owner != index:
+                        raise ValueError(
+                            f"shard {index}'s store holds object "
+                            f"{object_id!r}, which crc32-partitions to "
+                            f"shard {owner} of {num_shards}; was the store "
+                            "written under a different shard count?"
+                        )
+            # Recovered mutations count as routed: the coordinator's
+            # generation resumes at the fleet's persisted total.
+            self._generation = sum(
+                shard.generation for shard in self._shards
+            )
         if callable(executor):
             self._executor: Executor = executor(self._shards)
         elif executor == "serial":
@@ -782,6 +826,27 @@ class ShardedFlowEngine:
         self._generation += 1
         closed: TrackingRecord = result[0]
         return closed
+
+    def checkpoint(self) -> int:
+        """Fold every shard store's WAL tail into its bulk snapshot.
+
+        Runs :meth:`ShardState.compact_storage` on each shard through the
+        executor (so shard-pinned workers compact their own stores).
+
+        Returns:
+            The total number of WAL mutations folded across shards.
+
+        Raises:
+            RuntimeError: If the fleet is frozen-batch.
+        """
+        self._require_live()
+        folded = self._executor.run(
+            [
+                (index, "compact_storage", (), {})
+                for index in range(self.num_shards)
+            ]
+        )
+        return sum(folded)
 
     def _require_live(self) -> None:
         if not self._live:

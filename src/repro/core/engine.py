@@ -40,6 +40,7 @@ from ..indoor.devices import Deployment
 from ..indoor.floorplan import FloorPlan
 from ..indoor.poi import Poi
 from ..obs import counter, obs_enabled, span
+from ..storage.base import StorageBackend
 from ..tracking.records import ObjectId, TrackingRecord
 from ..tracking.table import LiveTrackingTable, ObjectTrackingTable
 from .algorithms.iterative import (
@@ -101,6 +102,15 @@ class FlowEngine:
         table is re-validated into one record by record.
     artree_delta_threshold:
         Delta-buffer size at which the live AR-tree auto-compacts.
+    storage:
+        A :class:`~repro.storage.base.StorageBackend` the live table
+        writes through to (requires ``live=True`` or a live table).  A
+        pristine backend is seeded with ``ott``'s records; a populated
+        one **recovers** — ``ott`` must then be empty, the AR-tree
+        bulk-loads the persisted snapshot and only the WAL tail is
+        replayed through the ingest seam, reproducing the crashed
+        writer's state bit for bit.  :meth:`checkpoint` folds the tail
+        into the snapshot so later reopens replay nothing.
     """
 
     def __init__(
@@ -119,6 +129,7 @@ class FlowEngine:
         presence_cache_size: int = DEFAULT_PRESENCE_CACHE_SIZE,
         live: bool = False,
         artree_delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
+        storage: StorageBackend | None = None,
     ):
         # The engine is the degenerate one-shard deployment: all state —
         # table, indexes, caches, epochs — lives in a single ShardState,
@@ -138,6 +149,7 @@ class FlowEngine:
             presence_cache_size=presence_cache_size,
             live=live,
             artree_delta_threshold=artree_delta_threshold,
+            storage=storage,
         )
         self.floorplan = floorplan
         self.detection_slack = detection_slack
@@ -232,6 +244,27 @@ class FlowEngine:
     def generation(self) -> int:
         """The live table's mutation counter (0 for a frozen-batch engine)."""
         return self._shard.generation
+
+    @property
+    def storage(self) -> StorageBackend | None:
+        """The durable storage backend, if one was attached (see ``storage``)."""
+        return self._shard.storage
+
+    def checkpoint(self) -> int:
+        """Fold the storage backend's WAL tail into its bulk snapshot.
+
+        After a checkpoint, reopening the store bulk-loads everything
+        into the AR-tree's static core and replays nothing.  Cheap to
+        call periodically; queries before and after are bit-identical.
+
+        Returns:
+            The number of WAL mutations folded in.
+
+        Raises:
+            RuntimeError: If the engine is frozen-batch.
+        """
+        self._require_live()
+        return self._shard.compact_storage()
 
     def _require_live(self) -> None:
         if not self._shard.is_live:

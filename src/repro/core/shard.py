@@ -51,6 +51,7 @@ from ..obs import snapshot_dict, span
 from ..obs import disable as obs_disable
 from ..obs import enable as obs_enable
 from ..obs import reset as obs_reset
+from ..storage.base import Mutation, StorageBackend
 from ..tracking.records import ObjectId, TrackingRecord
 from ..tracking.table import LiveTrackingTable, ObjectTrackingTable
 from .caching import LruCache
@@ -104,6 +105,7 @@ class ShardState:
         artree_delta_threshold: int = DEFAULT_DELTA_THRESHOLD,
         object_ids: frozenset[ObjectId] | None = None,
         topology: TopologyChecker | None = None,
+        storage: StorageBackend | None = None,
     ):
         if v_max <= 0:
             raise ValueError("v_max must be positive")
@@ -113,25 +115,51 @@ class ShardState:
             raise ValueError("the engine needs at least one POI")
         self.floorplan = floorplan
         self.detection_slack = detection_slack
-        self._live: LiveTrackingTable | None
-        if isinstance(ott, LiveTrackingTable):
-            self._live = ott
-        elif live:
-            # A batch table allows any arrival order; replaying it sorted
-            # satisfies the live table's in-order at-append validation.
-            self._live = LiveTrackingTable(
-                sorted(ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+        self._storage = storage
+        if storage is not None and not (live or isinstance(ott, LiveTrackingTable)):
+            raise ValueError(
+                "a storage backend needs a live shard; pass live=True or "
+                "a LiveTrackingTable"
             )
+        self._live: LiveTrackingTable | None
+        restored_tail: list[Mutation] = []
+        if storage is not None and storage.generation > 0:
+            # Recovery: the store is authoritative.  Bulk-load its
+            # snapshot (the AR-tree below does the same), keep the WAL
+            # tail aside and replay it through the ingest seam once the
+            # index and the caches exist.
+            if len(ott):
+                raise ValueError(
+                    "recovering from a populated storage backend requires "
+                    "an empty tracking table; pass records or storage, "
+                    "not both"
+                )
+            self._live = LiveTrackingTable.restore_snapshot(storage)
+            restored_tail = storage.replay_since(self._live.generation)
+            table: ObjectTrackingTable | LiveTrackingTable = self._live
         else:
-            self._live = None
-        table: ObjectTrackingTable | LiveTrackingTable = (
-            self._live if self._live is not None else ott.freeze()
-        )
-        if object_ids is not None:
-            table = table.partition_view(object_ids)
-            if self._live is not None:
+            if isinstance(ott, LiveTrackingTable):
+                self._live = ott
+            elif live:
+                # A batch table allows any arrival order; replaying it
+                # sorted satisfies in-order at-append validation.
+                self._live = LiveTrackingTable(
+                    sorted(ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+                )
+            else:
+                self._live = None
+            table = self._live if self._live is not None else ott.freeze()
+            if object_ids is not None:
+                table = table.partition_view(object_ids)
+                if self._live is not None:
+                    assert isinstance(table, LiveTrackingTable)
+                    self._live = table
+            if storage is not None:
+                # Attach: seed the pristine store with the shard's
+                # current records (open episodes preserved).
                 assert isinstance(table, LiveTrackingTable)
-                self._live = table
+                self._live = table.copy_into(storage)
+                table = self._live
         self.ott: ObjectTrackingTable | LiveTrackingTable = table
         self.pois = list(pois)
         self.artree = ARTree.build(
@@ -156,6 +184,15 @@ class ShardState:
             region_cache_size=region_cache_size,
             presence_cache_size=presence_cache_size,
         )
+        if storage is not None and storage.generation > 0:
+            # The context's data generation tracks the persisted counter:
+            # adopt the snapshot generation, then replay the WAL tail as
+            # ordinary ingest so table, AR-tree delta and cache epochs
+            # advance exactly as the crashed writer's did.
+            self.ctx.sync_generation(storage.snapshot_generation)
+            with span("ingest.replay"):
+                for mutation in restored_tail:
+                    self._replay_storage_mutation(mutation)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -170,6 +207,11 @@ class ShardState:
     def generation(self) -> int:
         """The live table's mutation counter (0 for a frozen shard)."""
         return self._live.generation if self._live is not None else 0
+
+    @property
+    def storage(self) -> StorageBackend | None:
+        """The explicit storage backend this shard recovers from, if any."""
+        return self._storage
 
     # ------------------------------------------------------------------
     # POI subsets
@@ -418,8 +460,12 @@ class ShardState:
         Args:
             records: Closed tracking records in per-object time order.
 
+        Records the live table reports as idempotent redeliveries (an
+        already-stored ``record_id`` re-sent after a producer crash) are
+        skipped without touching the index or the cache epochs.
+
         Returns:
-            The number of records ingested.
+            The number of records ingested (redeliveries excluded).
 
         Raises:
             RuntimeError: If the shard is frozen-batch.
@@ -431,7 +477,8 @@ class ShardState:
         with span("ingest.batch"):
             for record in records:
                 predecessor = live.last_record(record.object_id)
-                live.append(record)
+                if not live.append(record):
+                    continue
                 self.artree.append_record(record, predecessor)
                 self.ctx.note_append(record.object_id)
                 count += 1
@@ -450,7 +497,8 @@ class ShardState:
         """
         live = self._require_live()
         predecessor = live.last_record(record.object_id)
-        live.append(record, open=True)
+        if not live.append(record, open=True):
+            return  # idempotent redelivery: episode already stored
         self.artree.append_record(record, predecessor, open=True)
         self.ctx.note_append(record.object_id)
 
@@ -497,6 +545,40 @@ class ShardState:
         self.artree.patch_tail(closed, open=False)
         self.ctx.note_append(object_id)
         return closed
+
+    def _replay_storage_mutation(self, mutation: Mutation) -> None:
+        """Recovery's ingest: one WAL mutation through the live seam.
+
+        Identical effects to the corresponding live mutator — table (via
+        :meth:`~repro.tracking.table.LiveTrackingTable.replay_mutation`,
+        which skips re-persisting), AR-tree delta and cache epochs all
+        advance — so a recovered shard is bitwise the shard an
+        uninterrupted run would have produced.
+        """
+        live = self._require_live()
+        record = mutation.record
+        if mutation.op in ("append", "append_open"):
+            predecessor = live.last_record(record.object_id)
+            live.replay_mutation(mutation)
+            self.artree.append_record(
+                record, predecessor, open=mutation.op == "append_open"
+            )
+        else:
+            live.replay_mutation(mutation)
+            self.artree.patch_tail(record, open=mutation.op == "extend")
+        self.ctx.note_append(record.object_id)
+
+    def compact_storage(self) -> int:
+        """Checkpoint: fold the live table's WAL tail into its snapshot.
+
+        Returns:
+            The number of mutations folded (see
+            :meth:`~repro.tracking.table.LiveTrackingTable.checkpoint`).
+
+        Raises:
+            RuntimeError: If the shard is frozen-batch.
+        """
+        return self._require_live().checkpoint()
 
     # ------------------------------------------------------------------
     # Instrumentation

@@ -1,0 +1,52 @@
+"""Backend selection: the ``REPRO_STORAGE_BACKEND`` environment switch.
+
+Every :class:`~repro.tracking.table.LiveTrackingTable` that is not handed
+an explicit backend asks :func:`default_live_backend` for one.  With the
+variable unset (or ``memory``) that is the plain in-RAM store — the
+pre-storage behaviour, bit for bit.  With ``sqlite`` every live table in
+the process transparently routes its mutations through a throwaway
+SQLite database, which is how CI runs the *entire* core suite (including
+the sharded N∈{1,2,4} equivalence tests, whose partition views each get
+their own per-shard store) against the durable backend without a single
+test knowing about it.
+
+The throwaway stores use ``synchronous=OFF`` — they exist to exercise the
+SQL path, not to survive a power cut — and delete their file on close.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from .base import StorageBackend
+from .memory import MemoryBackend
+from .sqlite import SQLiteBackend
+
+__all__ = ["ENV_VAR", "default_live_backend"]
+
+#: The environment variable naming the default backend.
+ENV_VAR = "REPRO_STORAGE_BACKEND"
+
+
+def default_live_backend() -> StorageBackend:
+    """A fresh backend of the environment-selected kind.
+
+    Returns:
+        A pristine :class:`~repro.storage.memory.MemoryBackend` (default)
+        or an ephemeral :class:`~repro.storage.sqlite.SQLiteBackend` when
+        ``REPRO_STORAGE_BACKEND=sqlite``.
+
+    Raises:
+        ValueError: For an unrecognised variable value.
+    """
+    choice = os.environ.get(ENV_VAR, "memory").strip().lower() or "memory"
+    if choice == "memory":
+        return MemoryBackend()
+    if choice == "sqlite":
+        handle, path = tempfile.mkstemp(prefix="repro-ott-", suffix=".sqlite")
+        os.close(handle)
+        return SQLiteBackend(path, synchronous="OFF", ephemeral=True)
+    raise ValueError(
+        f"unknown {ENV_VAR} value {choice!r} (expected 'memory' or 'sqlite')"
+    )

@@ -2,6 +2,8 @@
 
 from .detection import detect_all, detect_trajectory, detection_episodes
 from .io import (
+    export_records_csv,
+    import_records_csv,
     load_ott_csv,
     load_readings_csv,
     save_ott_csv,
@@ -36,6 +38,8 @@ __all__ = [
     "detect_all",
     "detect_trajectory",
     "detection_episodes",
+    "export_records_csv",
+    "import_records_csv",
     "itinerary_trajectory",
     "load_ott_csv",
     "load_readings_csv",

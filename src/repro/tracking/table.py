@@ -25,6 +25,9 @@ from __future__ import annotations
 import bisect
 from typing import AbstractSet, Iterable, Iterator, Sequence
 
+from ..analysis.contracts import contracts_enabled, check_storage_generation
+from ..storage.base import Mutation, StorageBackend, row_identity
+from ..storage.env import default_live_backend
 from .records import ObjectId, TrackingRecord
 
 __all__ = ["ObjectTrackingTable", "LiveTrackingTable"]
@@ -209,6 +212,25 @@ class ObjectTrackingTable(_TrackingReads):
         self._records.append(record)
         self._by_object.setdefault(record.object_id, []).append(record)
 
+    @classmethod
+    def from_backend(cls, backend: StorageBackend) -> "ObjectTrackingTable":
+        """A frozen table over a storage backend's current rows.
+
+        Open tail rows are included at their current extent — this is the
+        batch snapshot of whatever the store holds right now, validated
+        like any other frozen table.
+
+        Args:
+            backend: The store to read (snapshot ⊕ WAL tail).
+
+        Returns:
+            A new, already-frozen :class:`ObjectTrackingTable`.
+
+        Raises:
+            ValueError: If the stored rows are temporally inconsistent.
+        """
+        return cls(row.record for row in backend.iter_rows()).freeze()
+
     def freeze(self) -> "ObjectTrackingTable":
         """Sort per-object sequences, validate them and lock the table.
 
@@ -294,18 +316,186 @@ class LiveTrackingTable(_TrackingReads):
     **Generation.**  Every mutation (append, extend, close) increments
     :attr:`generation`, a monotonic counter engines and caches use to
     detect that the table moved under them.
+
+    **Storage.**  The table owns its in-memory read structures but not
+    the data: every mutation is written through to a
+    :class:`~repro.storage.base.StorageBackend` *before* the structures
+    are updated, so the store never lags the table (kill the process
+    between any two mutations and the store holds a consistent prefix).
+    Without an explicit ``backend`` the environment-selected default is
+    used — :class:`~repro.storage.memory.MemoryBackend` unless
+    ``REPRO_STORAGE_BACKEND=sqlite``.  Constructing a table over an
+    already-populated backend *recovers* it: the bulk snapshot is loaded
+    directly and the WAL tail replayed, after which the table (and its
+    :attr:`generation`) is exactly where the crashed writer left it.
+
+    **Idempotency.**  Re-appending an already-stored ``record_id`` with
+    the same identity is a no-op returning ``False`` (no generation
+    bump), so a producer may simply re-send its whole stream after a
+    crash; a *conflicting* redelivery raises.
     """
 
-    def __init__(self, records: Iterable[TrackingRecord] = ()):  # noqa: D107
-        super().__init__()
+    def __init__(
+        self,
+        records: Iterable[TrackingRecord] = (),
+        *,
+        backend: StorageBackend | None = None,
+    ):  # noqa: D107
+        self._init_state(backend if backend is not None else default_live_backend())
+        if self._backend.generation > 0:
+            records = list(records)
+            if records:
+                raise ValueError(
+                    "pass initial records or an already-populated backend, "
+                    "not both"
+                )
+            self._fill_from_snapshot()
+            for mutation in self._backend.replay_since(self._generation):
+                self.replay_mutation(mutation)
+            self._check_backend_sync()
+        else:
+            for record in records:
+                self.append(record)
+
+    def _init_state(self, backend: StorageBackend) -> None:
+        _TrackingReads.__init__(self)
         self._generation = 0
         #: open episode per object: index of the record in ``_records``.
         self._open: dict[ObjectId, int] = {}
-        for record in records:
-            self.append(record)
+        #: every stored record by id (idempotent-redelivery detection).
+        self._by_record_id: dict[int, TrackingRecord] = {}
+        #: write-through off only while applying already-persisted state.
+        self._persist = True
+        self._backend = backend
 
     def _require_queryable(self) -> None:
         pass  # a live table is always consistent, hence always queryable
+
+    # ------------------------------------------------------------------
+    # Storage
+    # ------------------------------------------------------------------
+
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend every mutation is written through to."""
+        return self._backend
+
+    def checkpoint(self) -> int:
+        """Fold the backend's WAL tail into its bulk snapshot.
+
+        After a checkpoint, reopening the store bulk-loads everything and
+        replays nothing.  Returns the number of mutations folded in.
+        """
+        return self._backend.compact()
+
+    @classmethod
+    def restore_snapshot(cls, backend: StorageBackend) -> "LiveTrackingTable":
+        """A table over the persisted bulk snapshot only, tail unapplied.
+
+        This is the engine-recovery seam: the returned table matches the
+        state the AR-tree bulk-loads, and the caller then drives
+        ``backend.replay_since(table.generation)`` through the ingest
+        path (:meth:`replay_mutation` plus index/cache updates) so every
+        layer advances in lockstep.  To recover a standalone table in one
+        step, construct ``LiveTrackingTable(backend=backend)`` instead.
+
+        Args:
+            backend: The store to recover from.
+
+        Returns:
+            A table at ``backend.snapshot_generation``.
+        """
+        table = cls.__new__(cls)
+        table._init_state(backend)
+        table._fill_from_snapshot()
+        return table
+
+    def _fill_from_snapshot(self) -> None:
+        """Bulk-load the backend's snapshot rows (no per-row persistence)."""
+        for row in self._backend.snapshot_rows():
+            record = row.record
+            object_id = record.object_id
+            if object_id in self._open:
+                raise ValueError(
+                    f"corrupt snapshot: object {object_id!r} has a row "
+                    f"after its open tail row"
+                )
+            sequence = self._by_object.get(object_id)
+            if sequence:
+                _validate_successor(object_id, sequence[-1], record)
+            self._records.append(record)
+            self._by_object.setdefault(object_id, []).append(record)
+            self._start_times.setdefault(object_id, []).append(record.t_s)
+            self._by_record_id[record.record_id] = record
+            if row.open:
+                self._open[object_id] = len(self._records) - 1
+        self._generation = self._backend.snapshot_generation
+
+    def replay_mutation(self, mutation: Mutation) -> None:
+        """Apply one already-persisted mutation without re-persisting it.
+
+        Mutations must be replayed in generation order, immediately
+        following this table's current generation.
+
+        Args:
+            mutation: The logged mutation (from ``backend.replay_since``).
+
+        Raises:
+            ValueError: If the mutation is out of order or fails the
+                usual at-append validation.
+        """
+        if mutation.generation != self._generation + 1:
+            raise ValueError(
+                f"mutation {mutation.generation} replayed out of order "
+                f"(table is at generation {self._generation})"
+            )
+        record = mutation.record
+        self._persist = False
+        try:
+            if mutation.op == "append":
+                self.append(record)
+            elif mutation.op == "append_open":
+                self.append(record, open=True)
+            elif mutation.op == "extend":
+                self.extend_episode(record.object_id, record.t_e)
+            elif mutation.op == "close":
+                self.close_episode(record.object_id, record.t_e)
+            else:
+                raise ValueError(f"unknown mutation op {mutation.op!r}")
+        finally:
+            self._persist = True
+
+    def copy_into(self, backend: StorageBackend) -> "LiveTrackingTable":
+        """Replay this table's whole stream into an empty backend.
+
+        The attach path for pre-loaded data: the returned table owns
+        ``backend`` (now holding every record, open episodes preserved)
+        and continues from this table's state; ``self`` is left untouched
+        on its own backend.
+
+        Args:
+            backend: The pristine store to populate.
+
+        Returns:
+            A new :class:`LiveTrackingTable` written through ``backend``.
+
+        Raises:
+            ValueError: If ``backend`` already holds data.
+        """
+        if backend.generation > 0:
+            raise ValueError(
+                "copy_into needs a pristine backend; construct "
+                "LiveTrackingTable(backend=...) to recover a populated one"
+            )
+        open_indices = set(self._open.values())
+        view = LiveTrackingTable(backend=backend)
+        for index, record in enumerate(self._records):
+            view.append(record, open=index in open_indices)
+        return view
+
+    def _check_backend_sync(self) -> None:
+        if contracts_enabled():
+            check_storage_generation(self._generation, self._backend.generation)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -335,23 +525,40 @@ class LiveTrackingTable(_TrackingReads):
     # Mutation (validated per call)
     # ------------------------------------------------------------------
 
-    def append(self, record: TrackingRecord, *, open: bool = False) -> None:
+    def append(self, record: TrackingRecord, *, open: bool = False) -> bool:
         """Append one record, validating order/non-overlap right now.
 
         ``open=True`` leaves the episode advancing (see the class
         docstring).  Appending to an object with an open episode is
         rejected — close it first, the stream is ambiguous otherwise.
+        The record is persisted to the backend before the table's read
+        structures are updated.
 
         Args:
             record: The record to append; its ``t_s`` must not precede
                 the object's current tail ``t_e``.
             open: Keep the episode advancing (``t_e`` patchable).
 
+        Returns:
+            ``True`` if the record was appended, ``False`` for an
+            idempotent redelivery of an already-stored ``record_id``
+            (a no-op; the generation does not move).
+
         Raises:
-            ValueError: If the object has an open episode, or the record
-                overlaps / precedes the object's tail record.
+            ValueError: If a conflicting record under a stored id is
+                redelivered, the object has an open episode, or the
+                record overlaps / precedes the object's tail record.
         """
         object_id = record.object_id
+        existing = self._by_record_id.get(record.record_id)
+        if existing is not None:
+            if row_identity(existing) != row_identity(record):
+                raise ValueError(
+                    f"record {record.record_id} is already stored as "
+                    f"{existing!r}; refusing conflicting redelivery of "
+                    f"{record!r}"
+                )
+            return False
         if object_id in self._open:
             raise ValueError(
                 f"object {object_id!r} has an open episode (record "
@@ -361,12 +568,22 @@ class LiveTrackingTable(_TrackingReads):
         sequence = self._by_object.get(object_id)
         if sequence:
             _validate_successor(object_id, sequence[-1], record)
+        if self._persist and not self._backend.append_row(record, open=open):
+            raise RuntimeError(
+                f"backend already held record {record.record_id} the table "
+                "did not know about; a storage backend must have exactly "
+                "one writing table"
+            )
         self._records.append(record)
         self._by_object.setdefault(object_id, []).append(record)
         self._start_times.setdefault(object_id, []).append(record.t_s)
+        self._by_record_id[record.record_id] = record
         if open:
             self._open[object_id] = len(self._records) - 1
         self._generation += 1
+        if self._persist:
+            self._check_backend_sync()
+        return True
 
     def extend_episode(self, object_id: ObjectId, t_e: float) -> TrackingRecord:
         """Advance the open episode's ``t_e`` (must not move backwards).
@@ -422,11 +639,16 @@ class LiveTrackingTable(_TrackingReads):
             t_s=record.t_s,
             t_e=t_e,
         )
+        if self._persist:
+            self._backend.rewrite_tail_row(updated, open=not close)
         self._records[index] = updated
         self._by_object[object_id][-1] = updated
+        self._by_record_id[updated.record_id] = updated
         if close:
             del self._open[object_id]
         self._generation += 1
+        if self._persist:
+            self._check_backend_sync()
         return updated
 
     # ------------------------------------------------------------------

@@ -31,12 +31,13 @@ FIXTURES = Path(__file__).resolve().parent / "fixtures"
 SHARD_FIXTURE = FIXTURES / "shard_safety_violation.py"
 CACHE_FIXTURE = FIXTURES / "cache_coherence_violation.py"
 DETERMINISM_FIXTURE = FIXTURES / "determinism_violation.py"
+STORAGE_FIXTURE = FIXTURES / "storage_seam_violation.py"
 
 
 @pytest.fixture(scope="module")
 def fixture_graph():
     model = ProjectModel.build(
-        [SHARD_FIXTURE, CACHE_FIXTURE, DETERMINISM_FIXTURE]
+        [SHARD_FIXTURE, CACHE_FIXTURE, DETERMINISM_FIXTURE, STORAGE_FIXTURE]
     )
     assert not model.errors
     return model, CallGraph.build(model)
@@ -75,6 +76,20 @@ class TestShardSafety:
         # ShardState.__init__ / ingest_batch mutate self: not flagged.
         lines = findings(ShardSafetyChecker(), fixture_graph, SHARD_FIXTURE)
         assert not lines.intersection({13, 14, 17})
+
+
+class TestStorageSeam:
+    def test_flags_seeded_lines(self, fixture_graph):
+        lines = findings(ShardSafetyChecker(), fixture_graph, STORAGE_FIXTURE)
+        assert 33 in lines  # backend.append_row() outside the seam
+        assert 38 in lines  # backend.rewrite_tail_row() outside the seam
+        assert 43 in lines  # external write backend.generation = ...
+
+    def test_write_through_path_stays_clean(self, fixture_graph):
+        # The table's own append() (the seam) and the backend's self
+        # mutations are the implementation, not violations.
+        lines = findings(ShardSafetyChecker(), fixture_graph, STORAGE_FIXTURE)
+        assert not lines.intersection({12, 15, 19, 24, 28})
 
 
 class TestCacheCoherence:

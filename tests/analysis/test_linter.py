@@ -211,6 +211,42 @@ class TestContextBypass:
         )
         assert rule_names(report) == ["context-bypass"]
 
+    def test_flags_direct_storage_backend_writes(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "backend.append_row(record)\n"
+            "backend.rewrite_tail_row(record, open=True)\n",
+            rule="context-bypass",
+        )
+        assert rule_names(report) == ["context-bypass"] * 2
+        assert all(
+            "storage backend" in d.message for d in report.diagnostics
+        )
+
+    def test_storage_and_table_modules_may_write_backends(self, tmp_path):
+        for filename in (
+            "repro/storage/sqlite.py",
+            "repro/storage/memory.py",
+            "tracking/table.py",
+        ):
+            report = lint_source(
+                tmp_path,
+                "stored = backend.append_row(record, open=True)\n"
+                "backend.rewrite_tail_row(record, open=False)\n",
+                filename=filename,
+                rule="context-bypass",
+            )
+            assert report.ok, filename
+
+    def test_storage_write_suppressible_with_pragma(self, tmp_path):
+        report = lint_source(
+            tmp_path,
+            "# repro: allow(context-bypass): the import seam is the writer\n"
+            "backend.append_row(record)\n",
+            rule="context-bypass",
+        )
+        assert report.ok
+
 
 # ----------------------------------------------------------------------
 # mutable-default

@@ -1,0 +1,167 @@
+# repro: allow-file(context-bypass): this file tests the storage backends themselves
+"""SQLite backend durability: reopen, schema guards, env routing."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.storage import (
+    ENV_VAR,
+    MemoryBackend,
+    SQLiteBackend,
+    default_live_backend,
+    sqlite_shard_stores,
+)
+from repro.tracking import TrackingRecord
+
+
+def rec(record_id, object_id, device_id, t_s, t_e):
+    return TrackingRecord(record_id, object_id, device_id, t_s, t_e)
+
+
+class TestReopen:
+    def test_rows_and_generation_survive_reopen(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        store = SQLiteBackend(path)
+        store.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+        store.append_row(rec(1, "o2", "d1", 12.0, 15.0), open=True)
+        store.close()
+
+        reopened = SQLiteBackend(path)
+        assert reopened.generation == 2
+        assert reopened.snapshot_generation == 0
+        rows = list(reopened.iter_rows())
+        assert [r.record.record_id for r in rows] == [0, 1]
+        assert [r.open for r in rows] == [False, True]
+        reopened.close()
+
+    def test_snapshot_generation_survives_reopen(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        store = SQLiteBackend(path)
+        store.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+        store.compact()
+        store.append_row(rec(1, "o2", "d1", 12.0, 15.0))
+        store.close()
+
+        reopened = SQLiteBackend(path)
+        assert reopened.snapshot_generation == 1
+        assert reopened.generation == 2
+        assert len(reopened.snapshot_rows()) == 1
+        (tail,) = reopened.replay_since(reopened.snapshot_generation)
+        assert tail.record.record_id == 1
+        reopened.close()
+
+    def test_reopen_keeps_idempotency(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        store = SQLiteBackend(path)
+        store.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+        store.close()
+
+        reopened = SQLiteBackend(path)
+        assert not reopened.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+        with pytest.raises(ValueError, match="already stored"):
+            reopened.append_row(rec(0, "o9", "d1", 10.0, 20.0))
+        reopened.close()
+
+    def test_closed_backend_refuses_use(self, tmp_path):
+        store = SQLiteBackend(tmp_path / "ott.sqlite")
+        store.close()
+        store.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            store.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+
+
+class TestSchemaGuards:
+    def test_unsupported_schema_version_raises(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        SQLiteBackend(path).close()
+        conn = sqlite3.connect(path)
+        conn.execute("UPDATE meta SET value = '99' WHERE key = 'schema_version'")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ValueError, match="schema version 99"):
+            SQLiteBackend(path)
+
+    def test_rich_id_types_are_rejected(self, tmp_path):
+        store = SQLiteBackend(tmp_path / "ott.sqlite")
+        with pytest.raises(TypeError, match="str/int"):
+            store.append_row(rec(0, ("o", 1), "d1", 10.0, 20.0))
+        store.close()
+
+    def test_int_ids_round_trip_as_ints(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        store = SQLiteBackend(path)
+        store.append_row(rec(0, 7, 3, 10.0, 20.0))
+        store.close()
+        reopened = SQLiteBackend(path)
+        (row,) = reopened.iter_rows()
+        assert row.record.object_id == 7
+        assert row.record.device_id == 3
+        reopened.close()
+
+    def test_bad_synchronous_level_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="synchronous"):
+            SQLiteBackend(tmp_path / "ott.sqlite", synchronous="sometimes")
+
+
+class TestEphemeral:
+    def test_ephemeral_store_unlinks_on_close(self, tmp_path):
+        path = tmp_path / "scratch.sqlite"
+        store = SQLiteBackend(path, ephemeral=True)
+        store.append_row(rec(0, "o1", "d1", 10.0, 20.0))
+        assert path.exists()
+        store.close()
+        assert not path.exists()
+        assert not path.with_name("scratch.sqlite-wal").exists()
+
+    def test_durable_store_stays_on_disk(self, tmp_path):
+        path = tmp_path / "ott.sqlite"
+        store = SQLiteBackend(path)
+        store.close()
+        assert path.exists()
+
+
+class TestShardStores:
+    def test_factory_lays_out_one_db_per_shard(self, tmp_path):
+        factory = sqlite_shard_stores(tmp_path / "fleet")
+        stores = [factory(index) for index in range(3)]
+        try:
+            assert [s.path.name for s in stores] == [
+                "shard-00.sqlite",
+                "shard-01.sqlite",
+                "shard-02.sqlite",
+            ]
+            assert all(s.path.parent == tmp_path / "fleet" for s in stores)
+        finally:
+            for s in stores:
+                s.close()
+
+
+class TestEnvRouting:
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        backend = default_live_backend()
+        assert isinstance(backend, MemoryBackend)
+        backend.close()
+
+    def test_memory_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "memory")
+        backend = default_live_backend()
+        assert isinstance(backend, MemoryBackend)
+        backend.close()
+
+    def test_sqlite_value_is_ephemeral(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sqlite")
+        backend = default_live_backend()
+        assert isinstance(backend, SQLiteBackend)
+        path = backend.path
+        assert path.exists()
+        backend.close()
+        assert not path.exists()
+
+    def test_unknown_value_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "parchment")
+        with pytest.raises(ValueError, match="parchment"):
+            default_live_backend()
