@@ -58,7 +58,13 @@ BENCH_NAMES = (
     "obs_overhead",
     "shard_scaling",
     "storage",
+    "serve",
 )
+
+#: Client threads in the serve scenario's concurrent phase.
+SERVE_INGEST_THREADS = 4
+SERVE_QUERY_THREADS = 2
+SERVE_CHUNK = 25
 
 SHARD_COUNTS = (1, 2, 4)
 LOCALIZED_POIS = 3
@@ -624,6 +630,172 @@ def bench_storage(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -
 
 
 # ----------------------------------------------------------------------
+# Scenario: repro.serve under concurrent ingest + query (HTTP round trips)
+# ----------------------------------------------------------------------
+
+
+def _percentile(samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which must be non-empty)."""
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))]
+
+
+def bench_serve(dataset: Dataset, out_dir: Path, scale: float, repeats: int) -> Path:
+    """End-to-end HTTP latency and throughput of ``repro.serve``.
+
+    One in-process service (real listener, real sockets) takes the whole
+    workload from ``SERVE_INGEST_THREADS`` concurrent producers — disjoint
+    per-object streams, chunked — while ``SERVE_QUERY_THREADS`` clients
+    keep querying the moving engine.  Client-side wall clock gives the
+    p50/p99 of both request kinds *under contention*, plus a steady-state
+    query profile once ingest settles.  The final served top-k is checked
+    bit-identical against an in-process engine over the same records.
+    """
+    import threading
+
+    from repro.core.queries import SnapshotTopKQuery
+    from repro.serve.app import ServeConfig, ServerHandle
+    from repro.serve.client import ServeClient
+    from repro.serve.wire import QuerySpec
+
+    records = sorted(dataset.ott, key=lambda r: (r.t_s, r.t_e, r.record_id))
+    t_lo, t_hi = dataset.time_span()
+    query_times = [
+        t_lo + fraction * (t_hi - t_lo) for fraction in SNAPSHOT_SWEEP
+    ]
+
+    by_object: dict[Any, list[TrackingRecord]] = {}
+    for record in records:
+        by_object.setdefault(record.object_id, []).append(record)
+    streams: list[list[TrackingRecord]] = [[] for _ in range(SERVE_INGEST_THREADS)]
+    for index, object_records in enumerate(by_object.values()):
+        streams[index % SERVE_INGEST_THREADS].extend(object_records)
+
+    engine = FlowEngine(
+        ott=LiveTrackingTable(), live=True, **_engine_kwargs(dataset)
+    )
+    ingest_latencies: list[float] = []
+    query_latencies: list[float] = []
+    errors: list[BaseException] = []
+    lock = threading.Lock()
+    start = threading.Barrier(SERVE_INGEST_THREADS + SERVE_QUERY_THREADS + 1)
+    ingest_done = threading.Event()
+
+    with ServerHandle(engine, ServeConfig()) as handle:
+        def ingest_worker(stream: list[TrackingRecord]) -> None:
+            client = ServeClient(handle.base_url)
+            local: list[float] = []
+            try:
+                start.wait(timeout=60.0)
+                for offset in range(0, len(stream), SERVE_CHUNK):
+                    begun = time.perf_counter()
+                    client.ingest(records=stream[offset : offset + SERVE_CHUNK])
+                    local.append((time.perf_counter() - begun) * 1000.0)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+            with lock:
+                ingest_latencies.extend(local)
+
+        def query_worker(offset: int) -> None:
+            client = ServeClient(handle.base_url)
+            local: list[float] = []
+            try:
+                start.wait(timeout=60.0)
+                cursor = offset
+                while not ingest_done.is_set():
+                    t = query_times[cursor % len(query_times)]
+                    cursor += 1
+                    begun = time.perf_counter()
+                    client.query(
+                        QuerySpec(query=SnapshotTopKQuery(t=t, k=K))
+                    )
+                    local.append((time.perf_counter() - begun) * 1000.0)
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+            with lock:
+                query_latencies.extend(local)
+
+        threads = [
+            threading.Thread(target=ingest_worker, args=(stream,), daemon=True)
+            for stream in streams
+        ] + [
+            threading.Thread(target=query_worker, args=(index,), daemon=True)
+            for index in range(SERVE_QUERY_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        start.wait(timeout=60.0)
+        begun = time.perf_counter()
+        for thread in threads[:SERVE_INGEST_THREADS]:
+            thread.join()
+        ingest_wall_s = time.perf_counter() - begun
+        ingest_done.set()
+        for thread in threads[SERVE_INGEST_THREADS:]:
+            thread.join()
+        if errors:
+            raise RuntimeError(f"serve bench worker failed: {errors[0]!r}")
+
+        # Steady state: the same query mix against the settled engine.
+        client = ServeClient(handle.base_url)
+        steady: list[float] = []
+        for _ in range(repeats):
+            for t in query_times:
+                begun = time.perf_counter()
+                client.query(QuerySpec(query=SnapshotTopKQuery(t=t, k=K)))
+                steady.append((time.perf_counter() - begun) * 1000.0)
+
+        served = client.query(
+            QuerySpec(query=SnapshotTopKQuery(t=query_times[1], k=K))
+        )
+
+    reference = FlowEngine(
+        ott=ObjectTrackingTable(records), **_engine_kwargs(dataset)
+    ).snapshot_topk(query_times[1], K)
+    identical = (
+        served.poi_ids == reference.poi_ids and served.flows == reference.flows
+    )
+
+    def instrumented_cycle() -> None:
+        probe = FlowEngine(
+            ott=LiveTrackingTable(), live=True, **_engine_kwargs(dataset)
+        )
+        with ServerHandle(probe, ServeConfig()) as probe_handle:
+            probe_client = ServeClient(probe_handle.base_url)
+            probe_client.ingest(records=records[: SERVE_CHUNK * 4])
+            probe_client.query(
+                QuerySpec(query=SnapshotTopKQuery(t=query_times[0], k=K))
+            )
+
+    instrumented(instrumented_cycle)
+
+    return emit(
+        out_dir,
+        "serve",
+        scale,
+        params={
+            "records": len(records),
+            "ingest_threads": SERVE_INGEST_THREADS,
+            "query_threads": SERVE_QUERY_THREADS,
+            "chunk": SERVE_CHUNK,
+            "k": K,
+            "method": "join",
+        },
+        results={
+            "ingest_wall_s": round(ingest_wall_s, 3),
+            "ingest_rows_per_s": round(len(records) / max(ingest_wall_s, 1e-9), 1),
+            "ingest_p50_ms": round(_percentile(ingest_latencies, 0.50), 3),
+            "ingest_p99_ms": round(_percentile(ingest_latencies, 0.99), 3),
+            "query_under_ingest_p50_ms": round(_percentile(query_latencies, 0.50), 3),
+            "query_under_ingest_p99_ms": round(_percentile(query_latencies, 0.99), 3),
+            "query_under_ingest_count": len(query_latencies),
+            "query_steady_p50_ms": round(_percentile(steady, 0.50), 3),
+            "query_steady_p99_ms": round(_percentile(steady, 0.99), 3),
+            "results_identical": identical,
+        },
+    )
+
+
+# ----------------------------------------------------------------------
 # Entry point
 # ----------------------------------------------------------------------
 
@@ -634,6 +806,7 @@ _SCENARIOS: dict[str, Callable[[Dataset, Path, float, int], Path]] = {
     "obs_overhead": bench_obs_overhead,
     "shard_scaling": bench_shard_scaling,
     "storage": bench_storage,
+    "serve": bench_serve,
 }
 
 

@@ -346,6 +346,7 @@ class ShardedFlowEngine:
         )
         self._shard_prunes = 0
         self._generation = 0
+        self._closed = False
         params = dict(engine_params)
         params["region_cache_size"] = shard_cache_capacity(
             params.get("region_cache_size", DEFAULT_REGION_CACHE_SIZE),
@@ -451,8 +452,22 @@ class ShardedFlowEngine:
         return self._generation
 
     def close(self) -> None:
-        """Release the executor (idempotent; serial is a no-op)."""
-        self._executor.close()
+        """Flush every shard store, then release the executor (idempotent).
+
+        Each shard's ``close_storage`` runs *through the executor* —
+        shard-pinned workers fold and close their own stores — before
+        the workers are shut down, so a ``with ShardedFlowEngine(...)``
+        block never leaves forked processes or an unflushed WAL behind.
+        Storage-less (or frozen-batch) fleets just release the executor.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            if self._live:
+                self._fan_out("close_storage")
+        finally:
+            self._executor.close()
 
     def __enter__(self) -> "ShardedFlowEngine":
         return self

@@ -153,6 +153,7 @@ class FlowEngine:
         )
         self.floorplan = floorplan
         self.detection_slack = detection_slack
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Shard-owned state (the engine is its single shard)
@@ -265,6 +266,29 @@ class FlowEngine:
         """
         self._require_live()
         return self._shard.compact_storage()
+
+    def close(self) -> None:
+        """Flush and release the engine's storage backend (idempotent).
+
+        A dropped live engine with a durable backend would otherwise
+        leave an unflushed WAL tail behind — recoverable (that is the
+        WAL's point) but slow to reopen.  ``close()`` folds the tail
+        into the snapshot and closes the backend handle; engines without
+        storage (or frozen-batch ones) close as a no-op.  After closing,
+        further ingest against a durable engine fails — closing is
+        terminal, not a pause.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if self._shard.is_live and self._shard.storage is not None:
+            self._shard.close_storage()
+
+    def __enter__(self) -> "FlowEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
     def _require_live(self) -> None:
         if not self._shard.is_live:

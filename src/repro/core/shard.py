@@ -580,6 +580,27 @@ class ShardState:
         """
         return self._require_live().checkpoint()
 
+    def close_storage(self) -> int:
+        """Flush and release the shard's storage backend (idempotent).
+
+        Folds the WAL tail into the snapshot (so a reopen bulk-loads and
+        replays nothing), then closes the backend's handle.  A shard
+        without storage — or one already closed — is a no-op.
+
+        Returns:
+            The number of WAL mutations folded by the final checkpoint.
+        """
+        storage = self._storage
+        if storage is None:
+            return 0
+        folded = 0
+        live = self._live
+        if live is not None:
+            folded = live.checkpoint()
+        storage.close()
+        self._storage = None
+        return folded
+
     # ------------------------------------------------------------------
     # Instrumentation
     # ------------------------------------------------------------------

@@ -1,0 +1,91 @@
+"""repro.serve — the zero-dependency query/ingest service.
+
+The serving layer of the reproduction (ROADMAP: "Serve it"): an
+asyncio HTTP/1.1 front over the flow engines, stdlib-only end to end.
+Four layers, smallest on top:
+
+* :mod:`repro.serve.wire` — versioned JSON codecs for records, query
+  specs, results and monitor updates (bit-identical float round trips);
+* :mod:`repro.serve.actor` — the engine actor: one single-writer task
+  owning the engine, fed by a queue, so the lock-free engine serves
+  concurrent HTTP traffic with deterministic ingest/query ordering;
+* :mod:`repro.serve.http` / :mod:`repro.serve.app` — the hand-rolled
+  HTTP server, the endpoint catalogue and the threaded
+  :class:`~repro.serve.app.ServerHandle` harness;
+* :mod:`repro.serve.client` / :mod:`repro.serve.scenario` — the blocking
+  urllib client and the deterministic venue builder behind
+  ``python -m repro.serve``.
+
+Quickstart::
+
+    from repro.serve import QuerySpec, ServeClient, ServerHandle
+    from repro.serve.scenario import build_engine, build_venue
+    from repro.datagen.config import SyntheticConfig
+    from repro.core.queries import SnapshotTopKQuery
+
+    venue = build_venue(SyntheticConfig(num_objects=40))
+    with ServerHandle(build_engine(venue)) as handle:
+        client = ServeClient(handle.base_url)
+        client.ingest(records=list_of_records)
+        result = client.query(QuerySpec(SnapshotTopKQuery(t=600.0, k=5)))
+
+See ``docs/serving.md`` for the endpoint catalogue, the wire schema and
+the SSE semantics.
+"""
+
+from .actor import EngineActor, IngestBatch, IngestOutcome, ServableEngine, Subscriber
+from .app import ServeApp, ServeConfig, ServerHandle
+from .client import ServeClient, ServeHttpError
+from .jobs import Job, JobStore
+from .scenario import Venue, build_engine, build_venue, record_stream
+from .wire import (
+    WIRE_SCHEMA_VERSION,
+    QuerySpec,
+    WireError,
+    decode_poi,
+    decode_query,
+    decode_record,
+    decode_result,
+    decode_update,
+    dumps,
+    encode_poi,
+    encode_query,
+    encode_record,
+    encode_result,
+    encode_update,
+    loads,
+)
+
+__all__ = [
+    "EngineActor",
+    "IngestBatch",
+    "IngestOutcome",
+    "Job",
+    "JobStore",
+    "QuerySpec",
+    "ServableEngine",
+    "ServeApp",
+    "ServeClient",
+    "ServeConfig",
+    "ServeHttpError",
+    "ServerHandle",
+    "Subscriber",
+    "Venue",
+    "WIRE_SCHEMA_VERSION",
+    "WireError",
+    "build_engine",
+    "build_venue",
+    "decode_poi",
+    "decode_query",
+    "decode_record",
+    "decode_result",
+    "decode_update",
+    "dumps",
+    "encode_poi",
+    "encode_query",
+    "encode_record",
+    "encode_result",
+    "encode_update",
+    "loads",
+    "record_stream",
+]

@@ -1,0 +1,130 @@
+"""``python -m repro.serve`` — boot the service from the command line.
+
+The venue is derived deterministically from the synthetic-workload flags
+(see :mod:`repro.serve.scenario`), so restarting with the same flags and
+the same ``--storage`` path recovers the durable rows into an identical
+venue and answers queries bit-identically to the uninterrupted process —
+the recovery demo in ``tests/serve/test_recovery.py`` exercises exactly
+this entrypoint.
+
+Examples::
+
+    python -m repro.serve --port 8080 --storage /tmp/venue.sqlite
+    python -m repro.serve --shards 4 --storage /tmp/venue-shards/
+
+The process prints one line once the listener is bound::
+
+    repro.serve listening on http://127.0.0.1:8080
+
+and shuts down gracefully (drain + checkpoint) on SIGINT/SIGTERM.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+from typing import Optional, Sequence
+
+from ..datagen.config import SyntheticConfig
+from .app import ServeApp, ServeConfig
+from .scenario import build_engine, build_venue
+
+__all__ = ["main"]
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve top-k indoor POI queries over HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--storage",
+        default=None,
+        help="durability root: sqlite file (1 shard) or directory (N shards)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=1, help="engine shard count"
+    )
+    venue = parser.add_argument_group("venue (must match across restarts)")
+    venue.add_argument(
+        "--rooms", type=int, default=6, help="office rooms per hallway side"
+    )
+    venue.add_argument(
+        "--poi-count", type=int, default=20, help="POIs carved from the rooms"
+    )
+    venue.add_argument(
+        "--seed", type=int, default=11, help="POI partition seed"
+    )
+    venue.add_argument(
+        "--detection-range",
+        type=float,
+        default=1.5,
+        help="device detection radius (m)",
+    )
+    venue.add_argument(
+        "--hallway-spacing",
+        type=float,
+        default=12.0,
+        help="hallway reader spacing (m)",
+    )
+    venue.add_argument(
+        "--v-max", type=float, default=1.1, help="max indoor speed (m/s)"
+    )
+    venue.add_argument(
+        "--detection-slack",
+        type=float,
+        default=None,
+        help="detection latency (s); default 2 * sampling interval",
+    )
+    return parser
+
+
+def _config_from_args(args: argparse.Namespace) -> SyntheticConfig:
+    return SyntheticConfig(
+        rooms_per_side=args.rooms,
+        poi_count=args.poi_count,
+        seed=args.seed,
+        detection_range=args.detection_range,
+        hallway_spacing=args.hallway_spacing,
+        speed=args.v_max,
+    )
+
+
+async def _serve(args: argparse.Namespace) -> None:
+    venue = build_venue(
+        _config_from_args(args), detection_slack=args.detection_slack
+    )
+    engine = build_engine(venue, storage=args.storage, shards=args.shards)
+    app = ServeApp(engine, ServeConfig(host=args.host, port=args.port))
+    await app.start()
+    # The port line is the subprocess contract: tests and scripts bind
+    # port 0 and discover the ephemeral port from this exact prefix.
+    print(
+        f"repro.serve listening on http://{args.host}:{app.port}", flush=True
+    )
+    shutdown = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        loop.add_signal_handler(signum, shutdown.set)
+    await shutdown.wait()
+    print("repro.serve shutting down (drain + checkpoint)", flush=True)
+    await app.stop()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse flags, boot the service, block until a signal."""
+    args = _parser().parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C race
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

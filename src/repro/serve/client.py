@@ -1,0 +1,238 @@
+"""A blocking client for the service — urllib only, no dependencies.
+
+The counterpart of the server's zero-dependency constraint: tests, the
+benchmark and the CI smoke job talk to a running server through this
+thin :mod:`urllib.request` wrapper instead of requiring ``requests`` or
+``httpx``.  Methods mirror the endpoint catalogue one-to-one and speak
+the :mod:`repro.serve.wire` codecs, returning *decoded* domain objects
+(:class:`~repro.core.queries.TopKResult`,
+:class:`~repro.core.monitor.TopKUpdate`) where the wire defines them.
+
+Errors: any non-2xx response raises :class:`ServeHttpError` carrying the
+status and the server's JSON error message.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Optional, Sequence
+from urllib.error import HTTPError
+from urllib.request import Request as UrllibRequest
+from urllib.request import urlopen
+
+from ..core.monitor import TopKUpdate
+from ..core.queries import TopKResult
+from ..tracking.records import ObjectId, TrackingRecord
+from .wire import (
+    QuerySpec,
+    decode_result,
+    decode_update,
+    dumps,
+    encode_query,
+    encode_record,
+    loads,
+)
+
+__all__ = ["ServeClient", "ServeHttpError"]
+
+_DEFAULT_TIMEOUT = 30.0
+
+
+class ServeHttpError(RuntimeError):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True, slots=True)
+class ServeClient:
+    """One server's base URL plus a request timeout."""
+
+    base_url: str
+    timeout: float = _DEFAULT_TIMEOUT
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Mapping[str, Any]] = None,
+    ) -> dict[str, Any]:
+        body = None if payload is None else dumps(payload).encode("utf-8")
+        request = UrllibRequest(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:
+                return loads(response.read())
+        except HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw)
+                message = decoded.get("message", raw.decode("utf-8", "replace"))
+            except (ValueError, AttributeError):
+                message = raw.decode("utf-8", "replace")
+            raise ServeHttpError(error.code, str(message)) from error
+
+    # ------------------------------------------------------------------
+    # Health and metrics
+    # ------------------------------------------------------------------
+
+    def health(self) -> dict[str, Any]:
+        """``GET /health``."""
+        return self._request("GET", "/health")
+
+    def metrics(self) -> dict[str, Any]:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")
+
+    def checkpoint(self) -> int:
+        """``POST /checkpoint``; returns the folded mutation count."""
+        outcome = self._request("POST", "/checkpoint", {})
+        return int(outcome["folded"])
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(self, spec: QuerySpec) -> TopKResult:
+        """``POST /queries`` (synchronous): the decoded top-k result."""
+        return decode_result(self._request("POST", "/queries", encode_query(spec)))
+
+    def submit_query(self, spec: QuerySpec) -> str:
+        """``POST /queries?sync=false``: returns the job id."""
+        outcome = self._request(
+            "POST", "/queries?sync=false", encode_query(spec)
+        )
+        return str(outcome["job_id"])
+
+    def job(self, job_id: str) -> dict[str, Any]:
+        """``GET /jobs/{id}``: the raw job payload."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_job(self, job_id: str, attempts: int = 200) -> TopKResult:
+        """Poll a deferred query until it settles; decode its result.
+
+        Polling is bounded by ``attempts`` round trips (no sleeps — each
+        poll is a full HTTP request, and the actor drains quickly).
+
+        Raises:
+            ServeHttpError: If the job failed server-side (status 500
+                surrogate carrying the job's error message).
+            TimeoutError: If the job did not settle within ``attempts``.
+        """
+        for _ in range(attempts):
+            payload = self.job(job_id)
+            if payload["status"] == "done":
+                return decode_result(payload["result"])
+            if payload["status"] == "error":
+                raise ServeHttpError(500, str(payload.get("error")))
+        raise TimeoutError(f"job {job_id} did not settle in {attempts} polls")
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+
+    def ingest(
+        self,
+        records: Sequence[TrackingRecord] = (),
+        open_episode: Optional[TrackingRecord] = None,
+        extend: Optional[tuple[ObjectId, float]] = None,
+        close: Optional[tuple[ObjectId, Optional[float]]] = None,
+        tick_t: Optional[float] = None,
+    ) -> dict[str, Any]:
+        """``POST /ingest``: one atomic batch of ingest operations."""
+        payload: dict[str, Any] = {}
+        if records:
+            payload["records"] = [encode_record(record) for record in records]
+        if open_episode is not None:
+            payload["open"] = encode_record(open_episode)
+        if extend is not None:
+            payload["extend"] = {"object_id": extend[0], "t_e": extend[1]}
+        if close is not None:
+            close_payload: dict[str, Any] = {"object_id": close[0]}
+            if close[1] is not None:
+                close_payload["t_e"] = close[1]
+            payload["close"] = close_payload
+        if tick_t is not None:
+            payload["tick_t"] = tick_t
+        return self._request("POST", "/ingest", payload)
+
+    # ------------------------------------------------------------------
+    # Monitors
+    # ------------------------------------------------------------------
+
+    def create_monitor(
+        self,
+        kind: str,
+        k: int,
+        window_seconds: Optional[float] = None,
+        method: str = "join",
+    ) -> str:
+        """``POST /monitors``: returns the new monitor id."""
+        payload: dict[str, Any] = {"kind": kind, "k": k, "method": method}
+        if window_seconds is not None:
+            payload["window_seconds"] = window_seconds
+        outcome = self._request("POST", "/monitors", payload)
+        return str(outcome["monitor_id"])
+
+    def monitor(self, monitor_id: str) -> dict[str, Any]:
+        """``GET /monitors/{id}``."""
+        return self._request("GET", f"/monitors/{monitor_id}")
+
+    def monitors(self) -> list[dict[str, Any]]:
+        """``GET /monitors``."""
+        outcome = self._request("GET", "/monitors")
+        monitors = outcome["monitors"]
+        assert isinstance(monitors, list)
+        return monitors
+
+    def drop_monitor(self, monitor_id: str) -> None:
+        """``DELETE /monitors/{id}``."""
+        self._request("DELETE", f"/monitors/{monitor_id}")
+
+    def tick_monitor(self, monitor_id: str, t: float) -> TopKUpdate:
+        """``POST /monitors/{id}/tick``: the decoded update."""
+        return decode_update(
+            self._request("POST", f"/monitors/{monitor_id}/tick", {"t": t})
+        )
+
+    def stream(
+        self,
+        monitor_id: str,
+        max_events: int,
+        queue: Optional[int] = None,
+        timeout: Optional[float] = None,
+    ) -> Iterator[TopKUpdate]:
+        """``GET /monitors/{id}/stream``: yield up to ``max_events`` updates.
+
+        Blocks reading the SSE feed; stops after ``max_events`` events,
+        on server shutdown, or on monitor deletion.  Call it from a
+        thread when the same process also drives ticks.
+        """
+        path = f"/monitors/{monitor_id}/stream"
+        if queue is not None:
+            path += f"?queue={queue}"
+        request = UrllibRequest(f"{self.base_url}{path}", method="GET")
+        seen = 0
+        with urlopen(
+            request, timeout=self.timeout if timeout is None else timeout
+        ) as response:
+            for raw_line in response:
+                line = raw_line.decode("utf-8").rstrip("\n")
+                if not line.startswith("data: "):
+                    continue
+                yield decode_update(loads(line[len("data: ") :]))
+                seen += 1
+                if seen >= max_events:
+                    return

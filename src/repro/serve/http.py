@@ -1,0 +1,364 @@
+"""A minimal asyncio HTTP/1.1 server — stdlib only, no frameworks.
+
+The service's zero-dependency constraint rules out aiohttp/uvicorn, and
+the stdlib ``http.server`` is thread-per-request and cannot host the SSE
+streams the monitors need.  So this module hand-rolls the small HTTP
+subset the service actually speaks on top of
+:func:`asyncio.start_server`:
+
+* one request per connection (``Connection: close``) — the service's
+  clients are batch scripts and dashboards, not byte-shaving proxies, so
+  keep-alive bookkeeping buys nothing here;
+* JSON request/response bodies, sized by ``Content-Length`` (no chunked
+  request parsing);
+* long-lived ``text/event-stream`` responses for ``GET
+  /monitors/{id}/stream``, written frame by frame until the client
+  disconnects or the server shuts down.
+
+Routing is a list of ``(method, compiled path regex, handler)`` rules;
+named groups in the pattern become the handler's path parameters.  Every
+dispatch is timed into a per-route ``serve.latency.<route>`` histogram
+(when :mod:`repro.obs` is enabled), which is what ``GET /metrics`` and
+the serve benchmark export.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import re
+import time
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Mapping, Optional, Union
+from urllib.parse import parse_qsl, unquote
+
+from ..obs import counter, histogram, obs_enabled
+from .wire import dumps
+
+__all__ = [
+    "EventStream",
+    "HttpServer",
+    "Request",
+    "Response",
+    "Route",
+    "Router",
+]
+
+#: Request line + headers may not exceed this many bytes.
+MAX_HEADER_BYTES = 64 * 1024
+
+#: Request bodies may not exceed this many bytes.
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    params: Mapping[str, str]
+    """Decoded query-string parameters (last value wins per key)."""
+    headers: Mapping[str, str]
+    """Header fields, keys lower-cased."""
+    body: bytes
+
+    def flag(self, name: str, default: bool) -> bool:
+        """A boolean query parameter (``true``/``false``, ``1``/``0``)."""
+        raw = self.params.get(name)
+        if raw is None:
+            return default
+        lowered = raw.lower()
+        if lowered in ("1", "true", "yes"):
+            return True
+        if lowered in ("0", "false", "no"):
+            return False
+        raise ValueError(f"query parameter {name!r} must be boolean, got {raw!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One buffered HTTP response."""
+
+    status: int
+    body: bytes = b""
+    content_type: str = "application/json"
+
+    @classmethod
+    def json(cls, payload: Mapping[str, Any], status: int = 200) -> "Response":
+        """A JSON response from an encoded wire payload."""
+        return cls(status=status, body=dumps(payload).encode("utf-8"))
+
+    @classmethod
+    def error(cls, status: int, message: str) -> "Response":
+        """The uniform error body: ``{"error": status, "message": ...}``."""
+        return cls.json({"error": status, "message": message}, status=status)
+
+
+@dataclass(frozen=True, slots=True)
+class EventStream:
+    """A server-sent-events response: an async iterator of event frames.
+
+    The server writes the SSE headers, then one ``data: <json>\\n\\n``
+    frame per item the iterator yields, draining after each so frames
+    reach slow consumers promptly.  The iterator's ``finally`` blocks run
+    on disconnect, which is where handlers unsubscribe.
+    """
+
+    frames: AsyncIterator[str]
+
+
+Handler = Callable[[Request, Mapping[str, str]], Awaitable[Union[Response, EventStream]]]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """One routing rule: method + path pattern + handler."""
+
+    method: str
+    pattern: "re.Pattern[str]"
+    handler: Handler
+    name: str
+    """Metric label — ``serve.latency.<name>`` times this route."""
+
+
+class Router:
+    """Ordered route table with 404/405 discrimination."""
+
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, path_pattern: str, name: str, handler: Handler) -> None:
+        """Register a route.
+
+        Args:
+            method: Upper-case HTTP method.
+            path_pattern: Anchored regex for the path; named groups become
+                path parameters (e.g. ``r"/jobs/(?P<job_id>[^/]+)"``).
+            name: Metric label for the route's latency histogram.
+            handler: The coroutine handling matching requests.
+        """
+        self._routes.append(
+            Route(
+                method=method,
+                pattern=re.compile(f"^{path_pattern}$"),
+                handler=handler,
+                name=name,
+            )
+        )
+
+    def resolve(
+        self, method: str, path: str
+    ) -> Union[tuple[Route, dict[str, str]], Response]:
+        """The matching route and its path params, or a 404/405 response."""
+        path_matched = False
+        for route in self._routes:
+            match = route.pattern.match(path)
+            if match is None:
+                continue
+            path_matched = True
+            if route.method == method:
+                return route, {
+                    key: unquote(value)
+                    for key, value in match.groupdict().items()
+                }
+        if path_matched:
+            return Response.error(405, f"method {method} not allowed for {path}")
+        return Response.error(404, f"no route for {path}")
+
+
+@dataclass(slots=True)
+class HttpServer:
+    """The asyncio server loop around a :class:`Router`."""
+
+    router: Router
+    host: str = "127.0.0.1"
+    port: int = 0
+    _server: Optional["asyncio.Server"] = None
+    _streams: "set[asyncio.Task[None]]" = field(default_factory=set)
+
+    async def start(self) -> None:
+        """Bind and start accepting connections (port 0 = ephemeral)."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Stop accepting and cancel any in-flight SSE streams."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for task in list(self._streams):
+            task.cancel()
+        if self._streams:
+            await asyncio.gather(*self._streams, return_exceptions=True)
+        self._streams.clear()
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            outcome = await self._read_request(reader)
+            if isinstance(outcome, Response):
+                await self._write_response(writer, outcome)
+                return
+            request = outcome
+            resolved = self.router.resolve(request.method, request.path)
+            if isinstance(resolved, Response):
+                await self._write_response(writer, resolved)
+                return
+            route, path_params = resolved
+            started = time.perf_counter()
+            try:
+                result = await route.handler(request, path_params)
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:  # noqa: BLE001 - boundary: map to 500
+                result = _error_response(error)
+            if obs_enabled():
+                histogram(f"serve.latency.{route.name}", unit="seconds").observe(
+                    time.perf_counter() - started
+                )
+                counter("serve.requests", unit="requests").inc()
+            if isinstance(result, EventStream):
+                await self._write_stream(writer, result)
+            else:
+                await self._write_response(writer, result)
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Shutdown tears streaming connections down by cancelling
+            # their tasks (see stop()); that is normal teardown, not an
+            # error to surface through the event loop's handler.
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> Union[Request, Response]:
+        try:
+            head = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return Response.error(413, "request head too large")
+        except asyncio.IncompleteReadError as error:
+            if not error.partial:
+                raise
+            return Response.error(400, "truncated request head")
+        if len(head) > MAX_HEADER_BYTES:
+            return Response.error(413, "request head too large")
+        lines = head.decode("latin-1").split("\r\n")
+        parts = lines[0].split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            return Response.error(400, f"malformed request line {lines[0]!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        for line in lines[1:]:
+            if not line:
+                continue
+            key, separator, value = line.partition(":")
+            if not separator:
+                return Response.error(400, f"malformed header {line!r}")
+            headers[key.strip().lower()] = value.strip()
+        path, _, query = target.partition("?")
+        params = dict(parse_qsl(query, keep_blank_values=True))
+        body = b""
+        length_text = headers.get("content-length")
+        if length_text is not None:
+            try:
+                length = int(length_text)
+            except ValueError:
+                return Response.error(400, "bad Content-Length")
+            if length < 0:
+                return Response.error(400, "bad Content-Length")
+            if length > MAX_BODY_BYTES:
+                return Response.error(413, "request body too large")
+            if length:
+                body = await reader.readexactly(length)
+        return Request(
+            method=method,
+            path=unquote(path),
+            params=params,
+            headers=headers,
+            body=body,
+        )
+
+    async def _write_response(
+        self, writer: asyncio.StreamWriter, response: Response
+    ) -> None:
+        reason = _REASONS.get(response.status, "Unknown")
+        head = (
+            f"HTTP/1.1 {response.status} {reason}\r\n"
+            f"Content-Type: {response.content_type}\r\n"
+            f"Content-Length: {len(response.body)}\r\n"
+            "Connection: close\r\n"
+            "\r\n"
+        )
+        writer.write(head.encode("latin-1") + response.body)
+        await writer.drain()
+
+    async def _write_stream(
+        self, writer: asyncio.StreamWriter, stream: EventStream
+    ) -> None:
+        """Stream SSE frames; tracked so :meth:`stop` can cancel them."""
+        task = asyncio.current_task()
+        if task is not None:
+            self._streams.add(task)
+        try:
+            head = (
+                "HTTP/1.1 200 OK\r\n"
+                "Content-Type: text/event-stream\r\n"
+                "Cache-Control: no-store\r\n"
+                "Connection: close\r\n"
+                "\r\n"
+            )
+            writer.write(head.encode("latin-1"))
+            await writer.drain()
+            iterator = stream.frames
+            try:
+                async for frame in iterator:
+                    writer.write(f"data: {frame}\n\n".encode("utf-8"))
+                    await writer.drain()
+            finally:
+                await iterator.aclose()  # type: ignore[attr-defined]
+        finally:
+            if task is not None:
+                self._streams.discard(task)
+
+
+def _error_response(error: Exception) -> Response:
+    """Map a handler exception to the uniform error body.
+
+    ``ValueError`` (wire validation, query validation, bad parameters)
+    is the client's fault → 400; ``KeyError`` is a missing resource →
+    404; ``RuntimeError`` (frozen engine, stopped actor) is a state
+    conflict → 409; anything else is a server bug → 500.
+    """
+    if isinstance(error, ValueError):
+        return Response.error(400, str(error))
+    if isinstance(error, KeyError):
+        message = error.args[0] if error.args else str(error)
+        return Response.error(404, str(message))
+    if isinstance(error, RuntimeError):
+        return Response.error(409, str(error))
+    return Response.error(500, f"{type(error).__name__}: {error}")

@@ -1,0 +1,97 @@
+"""Async job bookkeeping for ``POST /queries?sync=false``.
+
+A job is one deferred query: submitted, executed through the engine
+actor in queue order, and collected later via ``GET /jobs/{id}``.  The
+store is loop-confined (only the event-loop thread touches it), so plain
+dicts suffice — no locks, no persistence: jobs describe *in-flight* work
+and die with the process, while the data they query is what the durable
+storage layer protects.
+
+Job ids are sequential (``job-1``, ``job-2``, …) rather than random —
+the repo-wide unseeded-RNG lint applies to the service too, and a
+deterministic id stream makes request logs and tests reproducible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Job", "JobStore", "JOB_STATES"]
+
+#: The job lifecycle, in order.  ``pending`` jobs are queued behind the
+#: actor; ``done``/``error`` are terminal.
+JOB_STATES = ("pending", "done", "error")
+
+
+@dataclass(slots=True)
+class Job:
+    """One deferred request and its outcome."""
+
+    job_id: str
+    kind: str
+    status: str = "pending"
+    result: Optional[dict[str, Any]] = None
+    error: Optional[str] = None
+
+    def as_dict(self) -> dict[str, Any]:
+        """The ``GET /jobs/{id}`` response body."""
+        payload: dict[str, Any] = {
+            "job_id": self.job_id,
+            "kind": self.kind,
+            "status": self.status,
+        }
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+@dataclass(slots=True)
+class JobStore:
+    """All jobs of one server process, keyed by id."""
+
+    _jobs: dict[str, Job] = field(default_factory=dict)
+    _ids: "itertools.count[int]" = field(
+        default_factory=lambda: itertools.count(1)
+    )
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def create(self, kind: str) -> Job:
+        """Register a new pending job and return it."""
+        job = Job(job_id=f"job-{next(self._ids)}", kind=kind)
+        self._jobs[job.job_id] = job
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        """The job with ``job_id``, or ``None``."""
+        return self._jobs.get(job_id)
+
+    def finish(self, job_id: str, result: dict[str, Any]) -> None:
+        """Mark a job done with its encoded result payload."""
+        job = self._require(job_id)
+        job.status = "done"
+        job.result = result
+
+    def fail(self, job_id: str, error: str) -> None:
+        """Mark a job failed with a human-readable reason."""
+        job = self._require(job_id)
+        job.status = "error"
+        job.error = error
+
+    def counts(self) -> dict[str, int]:
+        """``{status: count}`` over every known job (health endpoint)."""
+        counts = {state: 0 for state in JOB_STATES}
+        for job in self._jobs.values():
+            counts[job.status] = counts.get(job.status, 0) + 1
+        return counts
+
+    def _require(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job {job_id!r}")
+        return job

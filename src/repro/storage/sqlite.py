@@ -136,7 +136,14 @@ class SQLiteBackend:
         if self._conn is None or self._conn_pid != os.getpid():
             # A connection inherited across fork() must not be reused (or
             # even closed) in the child; drop the reference and reopen.
-            conn = sqlite3.connect(str(self._path), isolation_level=None)
+            # check_same_thread=False: callers serialize access (the
+            # engines are single-threaded; the serve layer routes every
+            # operation through one engine-actor thread), but the thread
+            # that *constructs* the backend — recovering the snapshot —
+            # need not be the thread that later appends to it.
+            conn = sqlite3.connect(
+                str(self._path), isolation_level=None, check_same_thread=False
+            )
             conn.executescript(_SCHEMA)
             version = self._get_meta(conn, "schema_version")
             if version is None:

@@ -316,6 +316,65 @@ class TestWallClock:
 
 
 # ----------------------------------------------------------------------
+# serve-seam
+# ----------------------------------------------------------------------
+
+
+SERVE_SEAM_FIXTURE = (
+    Path(__file__).resolve().parent / "fixtures" / "serve_seam_violation.py"
+)
+
+
+class TestServeSeam:
+    def lint_fixture(self, tmp_path, filename="repro/serve/handlers.py"):
+        return lint_source(
+            tmp_path,
+            SERVE_SEAM_FIXTURE.read_text(),
+            filename=filename,
+            rule="serve-seam",
+        )
+
+    def test_flags_seeded_lines_exactly(self, tmp_path):
+        report = self.lint_fixture(tmp_path)
+        lines = sorted(d.line for d in report.diagnostics)
+        assert lines == [38, 42, 46, 50, 54]
+        assert all(d.rule == "serve-seam" for d in report.diagnostics)
+
+    def test_actor_receivers_stay_clean(self, tmp_path):
+        # Lines 30/34 call query()/ingest() *through the actor* — the
+        # sanctioned seam — and must not be flagged.
+        report = self.lint_fixture(tmp_path)
+        assert not {30, 34}.intersection(d.line for d in report.diagnostics)
+
+    def test_messages_distinguish_the_three_categories(self, tmp_path):
+        report = self.lint_fixture(tmp_path)
+        by_line = {d.line: d.message for d in report.diagnostics}
+        assert "queries the engine" in by_line[38]
+        assert "mutates the engine" in by_line[42]
+        assert "internals" in by_line[50]
+        assert "internals" in by_line[54]
+
+    def test_rule_is_scoped_to_repro_serve(self, tmp_path):
+        report = self.lint_fixture(tmp_path, filename="repro/core/module.py")
+        assert report.ok
+
+    def test_actor_client_and_smoke_modules_are_exempt(self, tmp_path):
+        for exempt in ("actor.py", "client.py", "smoke.py"):
+            report = self.lint_fixture(
+                tmp_path, filename=f"repro/serve/{exempt}"
+            )
+            assert report.ok, exempt
+
+    def test_shipped_serve_package_is_clean(self):
+        registry = rules_by_name()
+        report = lint_paths(
+            [REPO_ROOT / "src" / "repro" / "serve"],
+            [registry["serve-seam"]],
+        )
+        assert report.ok, "\n".join(d.format() for d in report.diagnostics)
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,332 @@
+"""The engine actor: single-writer ordering, monitors, subscriber queues.
+
+Most tests drive a fake engine that records the call sequence — the
+actor's job is *ordering and ownership*, not query semantics — plus a
+final test against a real live engine to pin the facade's type fit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.core.queries import (
+    RankedPoi,
+    SnapshotTopKQuery,
+    IntervalTopKQuery,
+    TopKResult,
+)
+from repro.geometry import Polygon
+from repro.indoor.poi import Poi
+from repro.serve.actor import EngineActor, IngestBatch
+from repro.serve.wire import QuerySpec
+from repro.tracking.records import TrackingRecord
+
+
+def _poi(poi_id: str) -> Poi:
+    return Poi(
+        poi_id=poi_id,
+        polygon=Polygon.rectangle(0.0, 0.0, 1.0, 1.0),
+        room_id="r",
+        name=poi_id,
+        category="room",
+    )
+
+
+def _record(record_id: int, object_id: str, t_s: float, t_e: float) -> TrackingRecord:
+    return TrackingRecord(
+        record_id=record_id,
+        object_id=object_id,
+        device_id="dev",
+        t_s=t_s,
+        t_e=t_e,
+    )
+
+
+class FakeEngine:
+    """A ServableEngine that logs every call with its executing thread."""
+
+    def __init__(self) -> None:
+        self.calls: list[tuple[str, str]] = []
+        self._generation = 0
+        self.closed = 0
+
+    def _log(self, name: str) -> None:
+        self.calls.append((name, threading.current_thread().name))
+
+    @property
+    def is_live(self) -> bool:
+        return True
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def snapshot_topk(self, t, k, pois=None, method="join"):
+        self._log(f"snapshot:{t}:{k}:{method}")
+        return TopKResult(entries=(RankedPoi(poi=_poi("a"), flow=float(t)),))
+
+    def interval_topk(
+        self, t_start, t_end, k, pois=None, method="join", use_segment_mbrs=True
+    ):
+        self._log(f"interval:{t_start}:{t_end}:{k}:{method}")
+        return TopKResult(entries=(RankedPoi(poi=_poi("b"), flow=t_end),))
+
+    def ingest(self, records):
+        batch = list(records)
+        self._log(f"ingest:{len(batch)}")
+        self._generation += len(batch)
+        return len(batch)
+
+    def ingest_open(self, record):
+        self._log("ingest_open")
+        self._generation += 1
+
+    def extend_episode(self, object_id, t_e):
+        self._log(f"extend:{object_id}:{t_e}")
+        self._generation += 1
+        return _record(99, str(object_id), 0.0, t_e)
+
+    def close_episode(self, object_id, t_e=None):
+        self._log(f"close:{object_id}:{t_e}")
+        self._generation += 1
+        return _record(99, str(object_id), 0.0, t_e or 1.0)
+
+    def stats(self):
+        self._log("stats")
+        return {"calls": len(self.calls)}
+
+    def checkpoint(self):
+        self._log("checkpoint")
+        return 7
+
+    def close(self):
+        self._log("close")
+        self.closed += 1
+
+
+class TestOrdering:
+    def test_operations_run_in_submission_order_on_one_thread(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            # Interleave queries and ingests concurrently; gather order
+            # is submission order because submit() awaits queue.put in
+            # coroutine scheduling order.
+            await actor.ingest(IngestBatch(records=(_record(1, "o", 0.0, 1.0),)))
+            await actor.query(QuerySpec(query=SnapshotTopKQuery(t=5.0, k=2)))
+            await actor.ingest(IngestBatch(records=(_record(2, "o", 1.0, 2.0),)))
+            await actor.query(
+                QuerySpec(
+                    query=IntervalTopKQuery(t_start=0.0, t_end=2.0, k=1),
+                    method="iterative",
+                )
+            )
+            await actor.stop()
+            return engine
+
+        engine = asyncio.run(scenario())
+        names = [name for name, _ in engine.calls]
+        assert names == [
+            "ingest:1",
+            "snapshot:5.0:2:join",
+            "ingest:1",
+            "interval:0.0:2.0:1:iterative",
+            "close",
+        ]
+        threads = {thread for _, thread in engine.calls}
+        assert len(threads) == 1
+        assert "engine-actor" in threads.pop()
+
+    def test_atomic_batch_composes_all_episode_ops(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            outcome = await actor.ingest(
+                IngestBatch(
+                    records=(_record(1, "o", 0.0, 1.0),),
+                    open_episode=_record(2, "p", 1.0, 1.0),
+                    extend=("p", 3.0),
+                    close=("p", 4.0),
+                )
+            )
+            await actor.stop()
+            return engine, outcome
+
+        engine, outcome = asyncio.run(scenario())
+        names = [name for name, _ in engine.calls if name != "close"]
+        assert names == ["ingest:1", "ingest_open", "extend:p:3.0", "close:p:4.0"]
+        assert outcome.ingested == 2  # batch + open episode
+        assert outcome.generation == 4
+
+    def test_errors_propagate_and_do_not_kill_the_actor(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+
+            def boom():
+                raise ValueError("seeded failure")
+
+            with pytest.raises(ValueError, match="seeded failure"):
+                await actor.submit(boom)
+            # The actor keeps serving after a failed operation.
+            stats = await actor.stats()
+            await actor.stop()
+            return stats
+
+        stats = asyncio.run(scenario())
+        assert stats["calls"] >= 1
+
+    def test_stop_rejects_new_work_and_closes_engine_once(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            await actor.stop()
+            await actor.stop()  # idempotent
+            with pytest.raises(RuntimeError, match="stopped"):
+                await actor.stats()
+            return engine
+
+        engine = asyncio.run(scenario())
+        assert engine.closed == 1
+
+    def test_stop_can_leave_the_engine_open(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            await actor.stop(close_engine=False)
+            return engine
+
+        engine = asyncio.run(scenario())
+        assert engine.closed == 0
+
+
+class TestMonitors:
+    def test_create_tick_and_broadcast(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            monitor_id = actor.create_monitor(kind="snapshot", k=1)
+            subscriber = actor.subscribe(monitor_id)
+            update = await actor.tick_monitor(monitor_id, 10.0)
+            queued = await subscriber.queue.get()
+            await actor.stop()
+            sentinel = await subscriber.queue.get()
+            return monitor_id, update, queued, sentinel
+
+        monitor_id, update, queued, sentinel = asyncio.run(scenario())
+        assert monitor_id == "mon-1"
+        assert queued == update
+        assert update.entered == ("a",)
+        assert sentinel is None  # stop() ends every stream
+
+    def test_interval_monitor_requires_window(self):
+        async def scenario():
+            actor = EngineActor(FakeEngine())
+            await actor.start()
+            with pytest.raises(ValueError, match="window_seconds"):
+                actor.create_monitor(kind="interval", k=1)
+            with pytest.raises(ValueError, match="window_seconds"):
+                actor.create_monitor(kind="snapshot", k=1, window_seconds=5.0)
+            with pytest.raises(ValueError, match="kind"):
+                actor.create_monitor(kind="hourly", k=1)
+            await actor.stop()
+
+        asyncio.run(scenario())
+
+    def test_ingest_tick_advances_all_monitors_atomically(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            actor.create_monitor(kind="snapshot", k=1)
+            actor.create_monitor(kind="interval", k=1, window_seconds=4.0)
+            outcome = await actor.ingest(
+                IngestBatch(records=(_record(1, "o", 0.0, 1.0),), tick_t=6.0)
+            )
+            await actor.stop()
+            return engine, outcome
+
+        engine, outcome = asyncio.run(scenario())
+        assert [mid for mid, _ in outcome.updates] == ["mon-1", "mon-2"]
+        names = [name for name, _ in engine.calls]
+        # The tick evaluations happen inside the same actor submission,
+        # directly after the batch's ingest — nothing can interleave.
+        assert names[:3] == ["ingest:1", "snapshot:6.0:1:join", "interval:2.0:6.0:1:join"]
+
+    def test_slow_subscriber_drops_newest_and_counts(self):
+        async def scenario():
+            engine = FakeEngine()
+            actor = EngineActor(engine)
+            await actor.start()
+            monitor_id = actor.create_monitor(kind="snapshot", k=1)
+            subscriber = actor.subscribe(monitor_id, queue_size=2)
+            for t in (1.0, 2.0, 3.0, 4.0, 5.0):
+                await actor.tick_monitor(monitor_id, t)
+            drained = []
+            while not subscriber.queue.empty():
+                drained.append(subscriber.queue.get_nowait())
+            info = actor.monitor_info(monitor_id)
+            await actor.stop()
+            return subscriber, drained, info
+
+        subscriber, drained, info = asyncio.run(scenario())
+        # Queue bound 2: the first two updates queued, three dropped.
+        assert [u.t for u in drained] == [1.0, 2.0]
+        assert subscriber.dropped == 3
+        assert info["updates_published"] == 5
+        assert info["dropped_updates"] == 3
+
+    def test_drop_monitor_ends_streams(self):
+        async def scenario():
+            actor = EngineActor(FakeEngine())
+            await actor.start()
+            monitor_id = actor.create_monitor(kind="snapshot", k=1)
+            subscriber = actor.subscribe(monitor_id)
+            assert actor.drop_monitor(monitor_id)
+            assert not actor.drop_monitor(monitor_id)
+            sentinel = subscriber.queue.get_nowait()
+            with pytest.raises(KeyError):
+                await actor.tick_monitor(monitor_id, 1.0)
+            await actor.stop()
+            return sentinel
+
+        assert asyncio.run(scenario()) is None
+
+
+class TestRealEngine:
+    def test_actor_serves_a_live_flow_engine(self, synthetic_dataset):
+        from repro.core.engine import LiveFlowEngine
+
+        records = tuple(synthetic_dataset.ott)
+
+        async def scenario():
+            engine = LiveFlowEngine(
+                synthetic_dataset.floorplan,
+                synthetic_dataset.deployment,
+                synthetic_dataset.pois,
+                v_max=synthetic_dataset.v_max,
+                detection_slack=2.0 * synthetic_dataset.sampling_interval,
+            )
+            actor = EngineActor(engine)
+            await actor.start()
+            outcome = await actor.ingest(IngestBatch(records=records))
+            served = await actor.query(
+                QuerySpec(query=SnapshotTopKQuery(t=600.0, k=5))
+            )
+            await actor.stop()
+            return outcome, served
+
+        outcome, served = asyncio.run(scenario())
+        reference = synthetic_dataset.engine().snapshot_topk(600.0, 5)
+        assert outcome.ingested == len(records)
+        assert served.poi_ids == reference.poi_ids
+        assert served.flows == reference.flows

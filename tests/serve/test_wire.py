@@ -1,0 +1,286 @@
+"""The wire codecs: bit-identical round trips and loud rejections.
+
+The property tests pin the service's float contract down to the byte
+pattern of the IEEE-754 doubles: ``decode(loads(dumps(encode(x))))``
+must reproduce every timestamp and flow bit for bit (``-0.0`` and
+subnormals included), because served query results are compared exactly
+against in-process results elsewhere in the suite.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.monitor import TopKUpdate
+from repro.core.queries import (
+    IntervalTopKQuery,
+    RankedPoi,
+    SnapshotTopKQuery,
+    TopKResult,
+)
+from repro.geometry import Polygon
+from repro.indoor.poi import Poi
+from repro.serve.wire import (
+    WIRE_SCHEMA_VERSION,
+    QuerySpec,
+    WireError,
+    decode_poi,
+    decode_query,
+    decode_record,
+    decode_result,
+    decode_update,
+    dumps,
+    encode_poi,
+    encode_query,
+    encode_record,
+    encode_result,
+    encode_update,
+    loads,
+)
+from repro.tracking.records import TrackingRecord
+
+
+def bits(value: float) -> bytes:
+    """The exact IEEE-754 byte pattern (distinguishes 0.0 from -0.0)."""
+    return struct.pack("<d", value)
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+
+# Full finite double range: the wire must carry any finite timestamp or
+# flow, not just "reasonable" ones.
+finite = st.floats(allow_nan=False, allow_infinity=False)
+# Episode times are bounded so t_s + dt stays finite.
+episode_time = st.floats(
+    min_value=-1e15, max_value=1e15, allow_nan=False, allow_infinity=False
+)
+wire_id = st.one_of(
+    st.text(max_size=12), st.integers(min_value=-(2**40), max_value=2**40)
+)
+
+
+@st.composite
+def records(draw) -> TrackingRecord:
+    t_s = draw(episode_time)
+    duration = draw(st.floats(min_value=0.0, max_value=1e15, allow_nan=False))
+    return TrackingRecord(
+        record_id=draw(st.integers(min_value=0, max_value=2**53)),
+        object_id=draw(wire_id),
+        device_id=draw(wire_id),
+        t_s=t_s,
+        t_e=t_s + duration,
+    )
+
+
+@st.composite
+def query_specs(draw) -> QuerySpec:
+    k = draw(st.integers(min_value=1, max_value=1000))
+    method = draw(st.sampled_from(["join", "iterative"]))
+    if draw(st.booleans()):
+        return QuerySpec(
+            query=SnapshotTopKQuery(t=draw(finite), k=k), method=method
+        )
+    t_start = draw(episode_time)
+    length = draw(st.floats(min_value=0.0, max_value=1e15, allow_nan=False))
+    return QuerySpec(
+        query=IntervalTopKQuery(t_start=t_start, t_end=t_start + length, k=k),
+        method=method,
+    )
+
+
+@st.composite
+def pois(draw) -> Poi:
+    x0 = draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    y0 = draw(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False))
+    width = draw(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+    height = draw(st.floats(min_value=1e-3, max_value=1e3, allow_nan=False))
+    return Poi(
+        poi_id=draw(st.text(max_size=10)),
+        polygon=Polygon.rectangle(x0, y0, x0 + width, y0 + height),
+        room_id=draw(st.text(max_size=10)),
+        name=draw(st.text(max_size=10)),
+        category=draw(st.text(max_size=10)),
+    )
+
+
+@st.composite
+def results(draw) -> TopKResult:
+    entries = draw(
+        st.lists(
+            st.tuples(pois(), finite),
+            max_size=4,
+        )
+    )
+    return TopKResult(
+        entries=tuple(RankedPoi(poi=poi, flow=flow) for poi, flow in entries)
+    )
+
+
+@st.composite
+def updates(draw) -> TopKUpdate:
+    poi_id = st.text(max_size=8)
+    rank = st.integers(min_value=1, max_value=100)
+    return TopKUpdate(
+        t=draw(finite),
+        result=draw(results()),
+        entered=tuple(draw(st.lists(poi_id, max_size=3))),
+        exited=tuple(draw(st.lists(poi_id, max_size=3))),
+        rank_changes=tuple(
+            draw(st.lists(st.tuples(poi_id, rank, rank), max_size=3))
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# Round-trip properties (through actual JSON text, not just dicts)
+# ----------------------------------------------------------------------
+
+
+class TestRoundTrips:
+    @given(records())
+    def test_record_round_trip_is_bit_identical(self, record):
+        decoded = decode_record(loads(dumps(encode_record(record))))
+        assert decoded == record
+        assert bits(decoded.t_s) == bits(record.t_s)
+        assert bits(decoded.t_e) == bits(record.t_e)
+        assert type(decoded.object_id) is type(record.object_id)
+
+    @given(query_specs())
+    def test_query_round_trip_is_bit_identical(self, spec):
+        decoded = decode_query(loads(dumps(encode_query(spec))))
+        assert decoded == spec
+        if isinstance(spec.query, SnapshotTopKQuery):
+            assert bits(decoded.query.t) == bits(spec.query.t)
+        else:
+            assert bits(decoded.query.t_start) == bits(spec.query.t_start)
+            assert bits(decoded.query.t_end) == bits(spec.query.t_end)
+
+    @given(pois())
+    def test_poi_round_trip_preserves_geometry(self, poi):
+        decoded = decode_poi(loads(dumps(encode_poi(poi))))
+        assert decoded.poi_id == poi.poi_id
+        assert decoded.room_id == poi.room_id
+        assert decoded.name == poi.name
+        assert decoded.category == poi.category
+        assert [
+            (bits(v.x), bits(v.y)) for v in decoded.polygon.vertices
+        ] == [(bits(v.x), bits(v.y)) for v in poi.polygon.vertices]
+
+    @settings(max_examples=50)
+    @given(results())
+    def test_result_round_trip_is_bit_identical(self, result):
+        decoded = decode_result(loads(dumps(encode_result(result))))
+        assert len(decoded) == len(result)
+        for ours, theirs in zip(decoded.entries, result.entries):
+            assert bits(ours.flow) == bits(theirs.flow)
+            assert ours.poi.poi_id == theirs.poi.poi_id
+
+    @settings(max_examples=50)
+    @given(updates())
+    def test_update_round_trip_preserves_change_sets(self, update):
+        decoded = decode_update(loads(dumps(encode_update(update))))
+        assert bits(decoded.t) == bits(update.t)
+        assert decoded.entered == update.entered
+        assert decoded.exited == update.exited
+        assert decoded.rank_changes == update.rank_changes
+        assert decoded.changed == update.changed
+        assert [bits(f) for f in decoded.result.flows] == [
+            bits(f) for f in update.result.flows
+        ]
+
+    @given(records())
+    def test_dumps_is_canonical(self, record):
+        # Same payload, same bytes: sorted keys + compact separators.
+        payload = encode_record(record)
+        assert dumps(payload) == dumps(dict(reversed(list(payload.items()))))
+
+
+# ----------------------------------------------------------------------
+# Envelope and validation rejections
+# ----------------------------------------------------------------------
+
+
+class TestRejections:
+    def sample_record_payload(self):
+        return encode_record(
+            TrackingRecord(
+                record_id=1, object_id="o", device_id="d", t_s=0.0, t_e=1.0
+            )
+        )
+
+    def test_version_mismatch_is_rejected(self):
+        payload = self.sample_record_payload()
+        payload["wire_version"] = WIRE_SCHEMA_VERSION + 1
+        with pytest.raises(WireError, match="wire_version"):
+            decode_record(payload)
+
+    def test_kind_mismatch_is_rejected(self):
+        payload = self.sample_record_payload()
+        with pytest.raises(WireError, match="expected kind"):
+            decode_query(payload)
+
+    def test_non_finite_floats_are_rejected(self):
+        payload = self.sample_record_payload()
+        payload["t_s"] = float("inf")
+        with pytest.raises(WireError, match="finite"):
+            decode_record(payload)
+
+    def test_booleans_are_not_numbers_or_ids(self):
+        payload = self.sample_record_payload()
+        payload["t_e"] = True
+        with pytest.raises(WireError, match="t_e"):
+            decode_record(payload)
+        payload = self.sample_record_payload()
+        payload["object_id"] = False
+        with pytest.raises(WireError, match="object_id"):
+            decode_record(payload)
+
+    def test_inverted_episode_is_rejected_as_wire_error(self):
+        payload = self.sample_record_payload()
+        payload["t_e"] = -1.0
+        with pytest.raises(WireError, match="precedes"):
+            decode_record(payload)
+
+    def test_unknown_query_mode_and_method_are_rejected(self):
+        spec = QuerySpec(query=SnapshotTopKQuery(t=0.0, k=1))
+        payload = encode_query(spec)
+        payload["mode"] = "cube"
+        with pytest.raises(WireError, match="mode"):
+            decode_query(payload)
+        payload = encode_query(spec)
+        payload["method"] = "magic"
+        with pytest.raises(WireError, match="method"):
+            decode_query(payload)
+
+    def test_inverted_window_is_rejected_as_wire_error(self):
+        payload = encode_query(
+            QuerySpec(query=IntervalTopKQuery(t_start=0.0, t_end=1.0, k=1))
+        )
+        payload["t_end"] = -5.0
+        with pytest.raises(WireError):
+            decode_query(payload)
+
+    def test_non_object_json_is_rejected(self):
+        with pytest.raises(WireError, match="JSON"):
+            loads("[1, 2")
+        with pytest.raises(WireError, match="object"):
+            loads("[1, 2]")
+
+    def test_degenerate_polygon_is_rejected(self):
+        poi = Poi(
+            poi_id="p",
+            polygon=Polygon.rectangle(0.0, 0.0, 1.0, 1.0),
+            room_id="r",
+            name="n",
+            category="c",
+        )
+        payload = encode_poi(poi)
+        payload["polygon"] = payload["polygon"][:2]
+        with pytest.raises(WireError, match="polygon"):
+            decode_poi(payload)
