@@ -116,6 +116,7 @@ class ShardState:
         self.floorplan = floorplan
         self.detection_slack = detection_slack
         self._storage = storage
+        self._closed = False
         if storage is not None and not (live or isinstance(ott, LiveTrackingTable)):
             raise ValueError(
                 "a storage backend needs a live shard; pass live=True or "
@@ -447,6 +448,15 @@ class ShardState:
     # ------------------------------------------------------------------
 
     def _require_live(self) -> LiveTrackingTable:
+        if self._closed:
+            # The live table still holds the closed backend; letting a
+            # mutation through would surface as a storage-driver error
+            # (e.g. sqlite3.ProgrammingError) instead of the documented
+            # terminal state.
+            raise RuntimeError(
+                "engine is closed: its storage backend has been flushed "
+                "and released; closing is terminal"
+            )
         if self._live is None:
             raise RuntimeError(
                 "this shard is frozen-batch; construct it with live=True "
@@ -585,7 +595,10 @@ class ShardState:
 
         Folds the WAL tail into the snapshot (so a reopen bulk-loads and
         replays nothing), then closes the backend's handle.  A shard
-        without storage — or one already closed — is a no-op.
+        without storage — or one already closed — is a no-op.  Closing
+        is terminal for a durable shard: subsequent mutations (ingest,
+        episode ops, checkpoint) raise :class:`RuntimeError` rather than
+        touching the released backend; read-only queries keep working.
 
         Returns:
             The number of WAL mutations folded by the final checkpoint.
@@ -599,6 +612,7 @@ class ShardState:
             folded = live.checkpoint()
         storage.close()
         self._storage = None
+        self._closed = True
         return folded
 
     # ------------------------------------------------------------------

@@ -49,7 +49,14 @@ from .actor import (
     IngestBatch,
     ServableEngine,
 )
-from .http import EventStream, HttpServer, Request, Response, Router
+from .http import (
+    SSE_HEARTBEAT,
+    EventStream,
+    HttpServer,
+    Request,
+    Response,
+    Router,
+)
 from .jobs import JobStore
 from .wire import (
     QuerySpec,
@@ -78,6 +85,11 @@ class ServeConfig:
     for that subscriber (and counted)."""
     max_pending: int = DEFAULT_MAX_PENDING
     """Engine-actor queue bound (backpressure beyond it)."""
+    sse_heartbeat_seconds: float = 15.0
+    """How long a stream may sit idle before a comment heartbeat frame
+    is written.  The heartbeat is invisible to SSE clients but fails
+    against a dead socket, so subscribers whose monitor never ticks are
+    still reaped instead of leaking connection tasks."""
 
 
 class ServeApp:
@@ -306,11 +318,22 @@ class ServeApp:
             except ValueError as error:
                 raise WireError("query parameter 'queue' must be an integer") from error
         subscriber = self.actor.subscribe(monitor_id, queue_size=queue_size)
+        heartbeat = self.config.sse_heartbeat_seconds
 
         async def frames() -> AsyncIterator[str]:
             try:
                 while True:
-                    update = await subscriber.queue.get()
+                    try:
+                        update = await asyncio.wait_for(
+                            subscriber.queue.get(), timeout=heartbeat
+                        )
+                    except asyncio.TimeoutError:
+                        # Idle stream: yield a comment frame.  Writing
+                        # it to a disconnected client raises, tearing
+                        # this generator down (and unsubscribing below)
+                        # even when the monitor never ticks.
+                        yield SSE_HEARTBEAT
+                        continue
                     if update is None:
                         return
                     yield dumps(encode_update(update))

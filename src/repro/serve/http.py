@@ -41,7 +41,13 @@ __all__ = [
     "Response",
     "Route",
     "Router",
+    "SSE_HEARTBEAT",
 ]
+
+#: The SSE comment frame handlers yield to keep quiet streams honest:
+#: clients ignore comment lines, but writing one to a dead socket fails,
+#: which is how idle stream connections get reaped (see ``ServeApp``).
+SSE_HEARTBEAT = ": heartbeat"
 
 #: Request line + headers may not exceed this many bytes.
 MAX_HEADER_BYTES = 64 * 1024
@@ -69,6 +75,10 @@ class Request:
 
     method: str
     path: str
+    """The raw (still percent-encoded) request path.  Routing matches
+    against it as-is; :meth:`Router.resolve` percent-decodes the named
+    groups it captures — exactly once — so an encoded ``%2F`` inside a
+    path parameter cannot alter which route matches."""
     params: Mapping[str, str]
     """Decoded query-string parameters (last value wins per key)."""
     headers: Mapping[str, str]
@@ -113,8 +123,10 @@ class EventStream:
 
     The server writes the SSE headers, then one ``data: <json>\\n\\n``
     frame per item the iterator yields, draining after each so frames
-    reach slow consumers promptly.  The iterator's ``finally`` blocks run
-    on disconnect, which is where handlers unsubscribe.
+    reach slow consumers promptly.  An item starting with ``:`` is
+    written verbatim as an SSE comment frame (heartbeats).  The
+    iterator's ``finally`` blocks run on disconnect, which is where
+    handlers unsubscribe.
     """
 
     frames: AsyncIterator[str]
@@ -199,16 +211,25 @@ class HttpServer:
             self.port = sockets[0].getsockname()[1]
 
     async def stop(self) -> None:
-        """Stop accepting and cancel any in-flight SSE streams."""
+        """Stop accepting, cancel in-flight SSE streams, then wait.
+
+        Stream tasks must be cancelled *before* ``wait_closed()``: on
+        Python 3.12+ ``wait_closed()`` waits for every connection
+        handler to finish, and SSE handlers block on their subscriber
+        queue until the actor stops — which happens only after this
+        method returns — so waiting first would deadlock shutdown
+        whenever a stream subscriber is connected.
+        """
         if self._server is not None:
             self._server.close()
-            await self._server.wait_closed()
-            self._server = None
         for task in list(self._streams):
             task.cancel()
         if self._streams:
             await asyncio.gather(*self._streams, return_exceptions=True)
         self._streams.clear()
+        if self._server is not None:
+            await self._server.wait_closed()
+            self._server = None
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -297,7 +318,7 @@ class HttpServer:
                 body = await reader.readexactly(length)
         return Request(
             method=method,
-            path=unquote(path),
+            path=path,
             params=params,
             headers=headers,
             body=body,
@@ -337,7 +358,8 @@ class HttpServer:
             iterator = stream.frames
             try:
                 async for frame in iterator:
-                    writer.write(f"data: {frame}\n\n".encode("utf-8"))
+                    payload = frame if frame.startswith(":") else f"data: {frame}"
+                    writer.write(f"{payload}\n\n".encode("utf-8"))
                     await writer.drain()
             finally:
                 await iterator.aclose()  # type: ignore[attr-defined]

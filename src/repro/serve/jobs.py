@@ -15,14 +15,21 @@ deterministic id stream makes request logs and tests reproducible.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-__all__ = ["Job", "JobStore", "JOB_STATES"]
+__all__ = ["DEFAULT_MAX_TERMINAL", "Job", "JobStore", "JOB_STATES"]
 
 #: The job lifecycle, in order.  ``pending`` jobs are queued behind the
 #: actor; ``done``/``error`` are terminal.
 JOB_STATES = ("pending", "done", "error")
+
+#: How many settled (done/error) jobs a store retains before evicting
+#: the oldest — a long-running server would otherwise hold every
+#: deferred query's encoded result forever.  Pending jobs are never
+#: evicted: their work is still queued behind the actor.
+DEFAULT_MAX_TERMINAL = 1024
 
 
 @dataclass(slots=True)
@@ -51,12 +58,19 @@ class Job:
 
 @dataclass(slots=True)
 class JobStore:
-    """All jobs of one server process, keyed by id."""
+    """All jobs of one server process, keyed by id.
 
+    The store is bounded: at most ``max_terminal`` settled jobs are
+    retained, oldest-settled evicted first (their ``GET /jobs/{id}``
+    turns 404, like an unknown id).  Pending jobs are never evicted.
+    """
+
+    max_terminal: int = DEFAULT_MAX_TERMINAL
     _jobs: dict[str, Job] = field(default_factory=dict)
     _ids: "itertools.count[int]" = field(
         default_factory=lambda: itertools.count(1)
     )
+    _terminal: "deque[str]" = field(default_factory=deque)
 
     def __len__(self) -> int:
         return len(self._jobs)
@@ -76,12 +90,14 @@ class JobStore:
         job = self._require(job_id)
         job.status = "done"
         job.result = result
+        self._settle(job)
 
     def fail(self, job_id: str, error: str) -> None:
         """Mark a job failed with a human-readable reason."""
         job = self._require(job_id)
         job.status = "error"
         job.error = error
+        self._settle(job)
 
     def counts(self) -> dict[str, int]:
         """``{status: count}`` over every known job (health endpoint)."""
@@ -95,3 +111,9 @@ class JobStore:
         if job is None:
             raise KeyError(f"unknown job {job_id!r}")
         return job
+
+    def _settle(self, job: Job) -> None:
+        """Record a terminal transition; evict beyond ``max_terminal``."""
+        self._terminal.append(job.job_id)
+        while len(self._terminal) > self.max_terminal:
+            self._jobs.pop(self._terminal.popleft(), None)

@@ -74,6 +74,47 @@ class TestFlowEngineClose:
         assert answered.flows == reference.flows
         recovered.close()
 
+    def test_post_close_mutators_raise_cleanly_and_reads_survive(
+        self, synthetic_dataset, tmp_path
+    ):
+        # Every mutator must be rejected *before* touching the released
+        # backend (a clean RuntimeError, not a storage-driver error
+        # surfacing mid-mutation) and without perturbing in-memory
+        # state: read-only queries keep answering bit-identically.
+        ds = synthetic_dataset
+        records = tuple(ds.ott)
+        engine = _live_engine(ds, SQLiteBackend(tmp_path / "venue.sqlite"))
+        engine.ingest(records)
+        t_lo, t_hi = ds.time_span()
+        t_mid = (t_lo + t_hi) / 2
+        before = engine.snapshot_topk(t_mid, 5)
+        engine.close()
+
+        from repro.tracking.records import TrackingRecord
+
+        t_next = max(r.t_e for r in records) + 1.0
+        fresh = TrackingRecord(
+            record_id=max(r.record_id for r in records) + 1,
+            object_id="after-close",
+            device_id=records[0].device_id,
+            t_s=t_next,
+            t_e=t_next + 1.0,
+        )
+        mutations = [
+            lambda: engine.ingest([fresh]),
+            lambda: engine.ingest_open(fresh),
+            lambda: engine.extend_episode("after-close", t_next + 2.0),
+            lambda: engine.close_episode("after-close"),
+            lambda: engine.checkpoint(),
+        ]
+        for mutate in mutations:
+            with pytest.raises(RuntimeError, match="closed"):
+                mutate()
+
+        after = engine.snapshot_topk(t_mid, 5)
+        assert after.poi_ids == before.poi_ids
+        assert after.flows == before.flows
+
     def test_with_protocol_closes_on_exit(self, synthetic_dataset, tmp_path):
         ds = synthetic_dataset
         records = tuple(ds.ott)

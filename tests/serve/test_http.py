@@ -123,6 +123,35 @@ class TestQueries:
 
 
 class TestErrorMapping:
+    def test_encoded_path_params_decode_exactly_once(self, client):
+        # A double-encoded slash (%252F) must reach the handler as the
+        # single-decoded "mon%2F1" — decoding twice would turn it into
+        # "mon/1" and could alter which route matches.
+        import json
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{client.base_url}/monitors/mon%252F1", timeout=30
+            )
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "mon%2F1" in body["message"]
+
+    def test_encoded_slash_in_path_param_does_not_split_the_route(self, client):
+        # "%2F" inside an id must stay inside the parameter: the request
+        # should resolve the monitors route (unknown id → 404 with the
+        # decoded id), not fall through as a two-segment path.
+        import json
+
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(
+                f"{client.base_url}/monitors/a%2Fb", timeout=30
+            )
+        assert excinfo.value.code == 404
+        body = json.loads(excinfo.value.read())
+        assert "unknown monitor" in body["message"]
+        assert "a/b" in body["message"]
+
     def test_unknown_route_is_404(self, client):
         with pytest.raises(ServeHttpError) as excinfo:
             client._request("GET", "/nope")
@@ -281,6 +310,87 @@ class TestMonitors:
             assert "backwards" in excinfo.value.message
         finally:
             client.drop_monitor(monitor_id)
+
+
+class TestStreamLifecycle:
+    """Shutdown and idle-connection behavior of the SSE streams.
+
+    Each test boots its own (small) server: these scenarios tear the
+    server down or tune the heartbeat, which the module-scoped fixture
+    server must not be subjected to.
+    """
+
+    SMALL = SyntheticConfig(
+        num_objects=4,
+        duration=120.0,
+        rooms_per_side=2,
+        poi_count=4,
+        seed=7,
+    )
+
+    def _handle(self, **config_kwargs) -> ServerHandle:
+        return ServerHandle(
+            build_engine(build_venue(self.SMALL)), ServeConfig(**config_kwargs)
+        )
+
+    def test_stop_with_connected_stream_subscriber_does_not_deadlock(self):
+        # Regression: stop() must cancel stream tasks *before* waiting
+        # for connection handlers (wait_closed() on 3.12+ waits for
+        # them, and a stream handler blocks on its subscriber queue
+        # until the actor stops — which happens after the server stops).
+        import time
+
+        handle = self._handle()
+        handle.start()
+        response = None
+        try:
+            client = ServeClient(handle.base_url)
+            monitor_id = client.create_monitor(kind="snapshot", k=2)
+            response = urllib.request.urlopen(
+                f"{handle.base_url}/monitors/{monitor_id}/stream", timeout=30
+            )
+            thread = handle._thread
+            started = time.monotonic()
+            handle.stop()
+            assert time.monotonic() - started < 20.0
+            assert thread is not None and not thread.is_alive()
+        finally:
+            if response is not None:
+                response.close()
+            handle.stop()
+
+    def test_idle_stream_emits_heartbeat_comment_frames(self):
+        with self._handle(sse_heartbeat_seconds=0.1) as handle:
+            client = ServeClient(handle.base_url)
+            monitor_id = client.create_monitor(kind="snapshot", k=2)
+            with urllib.request.urlopen(
+                f"{handle.base_url}/monitors/{monitor_id}/stream", timeout=30
+            ) as response:
+                for raw_line in response:
+                    line = raw_line.decode("utf-8").strip()
+                    if line:
+                        assert line == ": heartbeat"
+                        break
+
+    def test_dead_stream_connection_is_reaped_without_ticks(self):
+        import time
+
+        with self._handle(sse_heartbeat_seconds=0.1) as handle:
+            client = ServeClient(handle.base_url)
+            monitor_id = client.create_monitor(kind="snapshot", k=2)
+            response = urllib.request.urlopen(
+                f"{handle.base_url}/monitors/{monitor_id}/stream", timeout=30
+            )
+            assert client.monitor(monitor_id)["subscribers"] == 1
+            response.close()
+            # No ticks ever flow; only the heartbeat can detect the dead
+            # socket and unsubscribe the connection.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                if client.monitor(monitor_id)["subscribers"] == 0:
+                    break
+                time.sleep(0.05)
+            assert client.monitor(monitor_id)["subscribers"] == 0
 
 
 class TestIngestOverHttp:

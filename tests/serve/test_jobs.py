@@ -1,0 +1,48 @@
+"""The job store's bounded retention.
+
+A long-running server settles an unbounded stream of deferred queries;
+the store must not retain every encoded result forever.  Terminal jobs
+evict oldest-first beyond ``max_terminal``; pending jobs — still queued
+behind the actor — are never evicted.
+"""
+
+from __future__ import annotations
+
+from repro.serve.jobs import DEFAULT_MAX_TERMINAL, JobStore
+
+
+class TestJobStoreEviction:
+    def test_terminal_jobs_evict_oldest_first_beyond_the_cap(self):
+        store = JobStore(max_terminal=2)
+        first = store.create("query")
+        store.finish(first.job_id, {"n": 1})
+        second = store.create("query")
+        store.finish(second.job_id, {"n": 2})
+        third = store.create("query")
+        store.fail(third.job_id, "boom")
+
+        assert store.get(first.job_id) is None  # evicted → 404 upstream
+        assert store.get(second.job_id) is not None
+        assert store.get(second.job_id).status == "done"
+        assert store.get(third.job_id) is not None
+        assert store.get(third.job_id).status == "error"
+        assert len(store) == 2
+
+    def test_pending_jobs_are_never_evicted(self):
+        store = JobStore(max_terminal=1)
+        pending = store.create("query")
+        for _ in range(5):
+            job = store.create("query")
+            store.finish(job.job_id, {})
+
+        survivor = store.get(pending.job_id)
+        assert survivor is not None and survivor.status == "pending"
+        assert store.counts() == {"pending": 1, "done": 1, "error": 0}
+
+    def test_default_cap_is_generous_but_finite(self):
+        store = JobStore()
+        assert store.max_terminal == DEFAULT_MAX_TERMINAL
+        for _ in range(DEFAULT_MAX_TERMINAL + 10):
+            job = store.create("query")
+            store.finish(job.job_id, {})
+        assert len(store) == DEFAULT_MAX_TERMINAL
